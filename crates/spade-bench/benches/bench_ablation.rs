@@ -1,0 +1,94 @@
+//! Criterion: design-choice ablations called out in DESIGN.md —
+//!
+//! * single-edge fast path vs a batch of size 1 (shared window runner);
+//! * edge-grouping urgency test with and without pending accounting;
+//! * CSR snapshot vs dynamic adjacency for the static baseline.
+
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spade_bench::replay::{bootstrap_engine, MetricKind};
+use spade_bench::table3_datasets;
+use spade_core::order::MinQueue;
+use spade_core::{peel_with_queue, EdgeGrouper, GroupingConfig};
+use spade_graph::CsrGraph;
+
+fn bench_single_vs_batch1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("single_vs_batch1");
+    let data = table3_datasets().into_iter().find(|d| d.name == "Epinion").unwrap();
+    let kind = MetricKind::Dw;
+    group.bench_function("insert_edge", |b| {
+        let mut engine = bootstrap_engine(kind, &data.initial);
+        let mut cursor = 0usize;
+        b.iter(|| {
+            if cursor >= data.increments.len() {
+                engine = bootstrap_engine(kind, &data.initial);
+                cursor = 0;
+            }
+            let e = &data.increments[cursor];
+            cursor += 1;
+            std::hint::black_box(engine.insert_edge(e.src, e.dst, e.raw).unwrap());
+        });
+    });
+    group.bench_function("insert_batch_of_1", |b| {
+        let mut engine = bootstrap_engine(kind, &data.initial);
+        let mut cursor = 0usize;
+        b.iter(|| {
+            if cursor >= data.increments.len() {
+                engine = bootstrap_engine(kind, &data.initial);
+                cursor = 0;
+            }
+            let e = &data.increments[cursor];
+            cursor += 1;
+            std::hint::black_box(engine.insert_batch(&[(e.src, e.dst, e.raw)]).unwrap());
+        });
+    });
+    group.finish();
+}
+
+fn bench_grouping_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("grouping");
+    let data = table3_datasets().into_iter().find(|d| d.name == "Grab1").unwrap();
+    let kind = MetricKind::Fd;
+    for (label, pending) in [("pending_on", true), ("pending_off", false)] {
+        group.bench_function(BenchmarkId::new("submit", label), |b| {
+            let mut engine = bootstrap_engine(kind, &data.initial);
+            let mut grouper =
+                EdgeGrouper::new(GroupingConfig { max_buffer: 0, include_pending: pending });
+            let mut cursor = 0usize;
+            b.iter(|| {
+                if cursor >= data.increments.len() {
+                    cursor = 0;
+                }
+                let e = &data.increments[cursor];
+                cursor += 1;
+                std::hint::black_box(grouper.submit(&mut engine, e.src, e.dst, e.raw).unwrap());
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_csr_vs_dynamic_peel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("static_peel_layout");
+    group.sample_size(10);
+    let data = table3_datasets().into_iter().find(|d| d.name == "Wiki-Vote").unwrap();
+    let engine = bootstrap_engine(MetricKind::Dg, &data.stream.edges);
+    let csr = CsrGraph::from_graph(engine.graph());
+    let mut queue = MinQueue::new();
+    group.bench_function("csr", |b| {
+        b.iter(|| std::hint::black_box(peel_with_queue(&csr, &mut queue)));
+    });
+    group.bench_function("dynamic", |b| {
+        b.iter(|| std::hint::black_box(peel_with_queue(engine.graph(), &mut queue)));
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_single_vs_batch1,
+    bench_grouping_overhead,
+    bench_csr_vs_dynamic_peel
+);
+criterion_main!(benches);

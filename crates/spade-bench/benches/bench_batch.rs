@@ -1,0 +1,46 @@
+//! Criterion: batched incremental maintenance (Table 4's batch-size
+//! sweep) — per-batch insertion cost at |ΔE| in {10, 100, 1000}.
+
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spade_bench::replay::{bootstrap_engine, MetricKind};
+use spade_bench::table3_datasets;
+use spade_graph::VertexId;
+
+fn bench_insert_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("insert_batch");
+    group.sample_size(20);
+    let data = table3_datasets().into_iter().find(|d| d.name == "Grab1").unwrap();
+    for kind in [MetricKind::Dg, MetricKind::Fd] {
+        for batch in [10usize, 100, 1000] {
+            group.throughput(Throughput::Elements(batch as u64));
+            group.bench_function(
+                BenchmarkId::new(kind.inc_name(), format!("batch{batch}")),
+                |b| {
+                    let mut engine = bootstrap_engine(kind, &data.initial);
+                    let mut cursor = 0usize;
+                    let mut buf: Vec<(VertexId, VertexId, f64)> = Vec::with_capacity(batch);
+                    b.iter(|| {
+                        if cursor + batch > data.increments.len() {
+                            engine = bootstrap_engine(kind, &data.initial);
+                            cursor = 0;
+                        }
+                        buf.clear();
+                        buf.extend(
+                            data.increments[cursor..cursor + batch]
+                                .iter()
+                                .map(|e| (e.src, e.dst, e.raw)),
+                        );
+                        cursor += batch;
+                        std::hint::black_box(engine.insert_batch(&buf).unwrap());
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_insert_batch);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion: detection-index maintenance — the kinetic tournament vs the
+//! O(n) rescan vs lazy detection, under streaming insertions (the
+//! DESIGN.md §4.3 ablation).
+
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spade_bench::replay::MetricKind;
+use spade_bench::table3_datasets;
+use spade_core::{DetectionBackend, SpadeConfig, SpadeEngine};
+
+fn bench_detection_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("detection_backend");
+    let data = table3_datasets().into_iter().find(|d| d.name == "Grab1").unwrap();
+    for (label, backend) in [
+        ("kinetic", DetectionBackend::Kinetic),
+        ("eager_scan", DetectionBackend::EagerScan),
+        ("lazy", DetectionBackend::Lazy),
+    ] {
+        group.bench_function(BenchmarkId::new("insert+detect", label), |b| {
+            let mut engine = SpadeEngine::bootstrap(
+                MetricKind::Fd.metric(),
+                SpadeConfig { detection: backend },
+                data.initial.iter().map(|e| (e.src, e.dst, e.raw)),
+            )
+            .unwrap();
+            let mut cursor = 0usize;
+            b.iter(|| {
+                if cursor >= data.increments.len() {
+                    cursor = 0;
+                }
+                let e = &data.increments[cursor];
+                cursor += 1;
+                let det = engine.insert_edge(e.src, e.dst, e.raw).unwrap();
+                std::hint::black_box(det);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_detection_backends);
+criterion_main!(benches);

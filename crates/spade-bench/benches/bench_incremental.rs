@@ -1,0 +1,39 @@
+//! Criterion: single-edge incremental maintenance (Fig. 10's IncDG /
+//! IncDW / IncFD columns) — inserts one increment edge into a bootstrapped
+//! engine per iteration.
+
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spade_bench::replay::{bootstrap_engine, MetricKind};
+use spade_bench::table3_datasets;
+
+fn bench_insert_edge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("insert_edge");
+    for data in table3_datasets() {
+        if data.name != "Grab1" && data.name != "Epinion" {
+            continue;
+        }
+        for kind in MetricKind::ALL {
+            group.bench_function(BenchmarkId::new(kind.inc_name(), data.name), |b| {
+                // Rebuild periodically so the growing graph stays close to
+                // the bootstrapped size.
+                let mut engine = bootstrap_engine(kind, &data.initial);
+                let mut cursor = 0usize;
+                b.iter(|| {
+                    if cursor >= data.increments.len() {
+                        engine = bootstrap_engine(kind, &data.initial);
+                        cursor = 0;
+                    }
+                    let e = &data.increments[cursor];
+                    cursor += 1;
+                    std::hint::black_box(engine.insert_edge(e.src, e.dst, e.raw).unwrap());
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_insert_edge);
+criterion_main!(benches);

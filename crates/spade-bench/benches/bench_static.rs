@@ -1,0 +1,34 @@
+//! Criterion: static peeling baselines (Algorithm 1) on the dataset
+//! surrogates — the DG/DW/FD columns of Table 4.
+
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spade_bench::replay::{bootstrap_engine, MetricKind};
+use spade_bench::table3_datasets;
+use spade_core::order::MinQueue;
+use spade_core::peel_with_queue;
+use spade_graph::CsrGraph;
+
+fn bench_static_peel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("static_peel");
+    group.sample_size(10);
+    for data in table3_datasets() {
+        // One dataset per family keeps bench time sane.
+        if data.name != "Grab1" && data.name != "Wiki-Vote" {
+            continue;
+        }
+        for kind in MetricKind::ALL {
+            let engine = bootstrap_engine(kind, &data.stream.edges);
+            let csr = CsrGraph::from_graph(engine.graph());
+            let mut queue = MinQueue::new();
+            group.bench_function(BenchmarkId::new(kind.name(), data.name), |b| {
+                b.iter(|| std::hint::black_box(peel_with_queue(&csr, &mut queue)));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_static_peel);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Figure 11 — elapsed time `E` and latency `L` as functions of the batch
+//! size, per semantics, on the four Grab surrogates (six panels).
+//!
+//! Prints one series per dataset: batch size -> (E us/edge, L normalized
+//! to the static competitor). The paper's shape: E decreases with batch
+//! size; L grows roughly linearly with batch size (queueing dominates —
+//! 99.99% of it is waiting for the batch to fill).
+//!
+//! `cargo run -p spade-bench --release --bin fig11_batch_sweep`
+
+use spade_bench::replay::static_latency;
+use spade_bench::{
+    grab_datasets, measure_incremental_replay, measure_static_baseline, MetricKind,
+};
+use spade_metrics::Table;
+
+const BATCHES: [usize; 6] = [1, 50, 200, 400, 700, 1_000];
+
+fn main() {
+    println!("Figure 11: E (us/edge) and L (normalized) vs batch size\n");
+    let datasets = grab_datasets();
+    for kind in MetricKind::ALL {
+        println!("--- {} ---", kind.inc_name());
+        let mut table = Table::new({
+            let mut h = vec!["batch".to_string()];
+            for d in &datasets {
+                h.push(format!("{} E", d.name));
+                h.push(format!("{} L", d.name));
+            }
+            h
+        });
+        // Pre-measure static rounds per dataset for the latency model.
+        let static_lat: Vec<_> = datasets
+            .iter()
+            .map(|d| {
+                let us = measure_static_baseline(kind, &d.initial, &d.increments, 2);
+                static_latency(&d.increments, us)
+            })
+            .collect();
+        for b in BATCHES {
+            let mut row = vec![b.to_string()];
+            for (d, sl) in datasets.iter().zip(&static_lat) {
+                let cap = if b == 1 { 2_000.min(d.increments.len()) } else { d.increments.len() };
+                let report = measure_incremental_replay(kind, &d.initial, &d.increments[..cap], b);
+                row.push(format!("{:.1}", report.per_edge_us()));
+                row.push(format!("{:.3}", report.latency.normalized_to(sl)));
+            }
+            table.row(row);
+        }
+        table.print();
+        println!(
+            "queueing fraction at batch 1000 (paper: 99.99%): {:.4}%\n",
+            100.0
+                * measure_incremental_replay(
+                    kind,
+                    &datasets[0].initial,
+                    &datasets[0].increments,
+                    1_000
+                )
+                .latency
+                .queueing_fraction()
+        );
+    }
+    println!("(paper: E falls with batch size; L rises with batch size, dominated by queueing)");
+}

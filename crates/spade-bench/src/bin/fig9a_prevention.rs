@@ -1,0 +1,217 @@
+//! Figure 9a — prevention ratio vs latency.
+//!
+//! Replays a labeled fraud stream under each configuration (edge grouping
+//! IncDGG/IncDWG/IncFDG, and fixed 1K batches IncDG-1K/...) and reports
+//! one point per configuration: mean response latency of fraudulent
+//! transactions (x, ms of stream time) and the prevention ratio `R` (y).
+//! The paper's shape: prevention decreases as latency grows; the grouped
+//! variants prevent 86–92% of fraudulent activities.
+//!
+//! `cargo run -p spade-bench --release --bin fig9a_prevention`
+
+use spade_bench::clock::SimulatedClock;
+use spade_bench::replay::{bootstrap_engine, AnyMetric, MetricKind};
+use spade_core::{EdgeGrouper, GroupingConfig, SpadeEngine};
+use spade_core::stream::StreamEdge;
+use spade_gen::fraud::{FraudInjector, FraudInjectorConfig, InjectedStream};
+use spade_gen::transactions::{TransactionStream, TransactionStreamConfig};
+use spade_metrics::{LatencyRecorder, PreventionTracker, Table};
+use std::collections::HashMap;
+use std::time::Instant;
+
+fn labeled_stream() -> InjectedStream {
+    let base = TransactionStream::generate(&TransactionStreamConfig {
+        customers: 8_000,
+        merchants: 2_500,
+        transactions: 60_000,
+        seed: 0x916A,
+        ..Default::default()
+    });
+    FraudInjector::inject(
+        &base,
+        &FraudInjectorConfig {
+            instances_per_pattern: 3,
+            // The paper's case studies show fraud bursts of ~700-1900
+            // transactions (Fig. 12/13); bursts of that magnitude are what
+            // make the blocks denser than the organic core under DG.
+            // Long-lived bursts: detection fires once the block outgrows
+            // the organic core, and everything after that is prevented —
+            // the paper's 86-92% regime corresponds to instances that keep
+            // transacting long past first detectability.
+            transactions_per_instance: 4_000,
+            amount: 600.0,
+            inject_after_fraction: 0.9,
+            burst_duration: 6_000_000,
+            ..Default::default()
+        },
+    )
+}
+
+struct RunResult {
+    label: String,
+    mean_fraud_latency_ms: f64,
+    prevention: f64,
+    prevention_detected_only: f64,
+    detected: usize,
+    instances: usize,
+}
+
+/// Replay with per-round detection attribution shared by both modes.
+struct Attribution<'a> {
+    account_instance: HashMap<u32, u32>,
+    prevention: PreventionTracker,
+    fraud_latency: LatencyRecorder,
+    injected: &'a InjectedStream,
+}
+
+impl<'a> Attribution<'a> {
+    fn new(injected: &'a InjectedStream) -> Self {
+        let mut account_instance = HashMap::new();
+        for info in &injected.instances {
+            for m in &info.members {
+                account_instance.insert(m.0, info.instance);
+            }
+        }
+        Attribution {
+            account_instance,
+            prevention: PreventionTracker::new(),
+            fraud_latency: LatencyRecorder::new(),
+            injected,
+        }
+    }
+
+    fn on_transaction(&mut self, e: &StreamEdge) {
+        if let Some(l) = e.label {
+            self.prevention.note_transaction(l.instance, e.timestamp);
+        }
+    }
+
+    fn on_round(&mut self, engine: &SpadeEngine<AnyMetric>, done_ts: u64) {
+        let det = engine.cached_detection();
+        for m in engine.community(det) {
+            if let Some(&inst) = self.account_instance.get(&m.0) {
+                self.prevention.note_detection(inst, done_ts);
+            }
+        }
+    }
+
+    fn respond(&mut self, queued: &mut Vec<StreamEdge>, start: u64, done: u64) {
+        for e in queued.drain(..) {
+            if e.is_fraud() {
+                self.fraud_latency.record(e.timestamp, start.max(e.timestamp), done);
+            }
+        }
+    }
+
+    fn result(self, label: String) -> RunResult {
+        // Ratio over instances this semantics actually detects — the
+        // regime the paper's 86-92% numbers describe (each semantics
+        // targets its own fraud pattern).
+        let detected_ids: Vec<u32> = self
+            .injected
+            .instances
+            .iter()
+            .map(|i| i.instance)
+            .filter(|&i| self.prevention.detected_at(i).is_some())
+            .collect();
+        let detected_only = if detected_ids.is_empty() {
+            0.0
+        } else {
+            detected_ids.iter().filter_map(|&i| self.prevention.ratio(i)).sum::<f64>()
+                / detected_ids.len() as f64
+        };
+        RunResult {
+            label,
+            mean_fraud_latency_ms: self.fraud_latency.mean() / 1e3,
+            prevention: self.prevention.overall_ratio(),
+            prevention_detected_only: detected_only,
+            detected: self.prevention.num_detected(),
+            instances: self.injected.instances.len(),
+        }
+    }
+}
+
+fn run_grouped(kind: MetricKind, injected: &InjectedStream, split: usize) -> RunResult {
+    let (initial, increments) = injected.edges.split_at(split);
+    let mut engine = bootstrap_engine(kind, initial);
+    let mut grouper = EdgeGrouper::new(GroupingConfig::default());
+    let mut attr = Attribution::new(injected);
+    let mut clock = SimulatedClock::new();
+    let mut queued: Vec<StreamEdge> = Vec::new();
+    for e in increments {
+        attr.on_transaction(e);
+        queued.push(*e);
+        let t0 = Instant::now();
+        let outcome = grouper.submit(&mut engine, e.src, e.dst, e.raw).expect("submit");
+        if outcome.flushed.is_some() {
+            let dur = t0.elapsed().as_micros() as u64;
+            let (start, done) = clock.process(e.timestamp, dur);
+            attr.respond(&mut queued, start, done);
+            attr.on_round(&engine, done);
+        }
+    }
+    grouper.flush(&mut engine).expect("flush");
+    attr.result(kind.grouped_name().to_string())
+}
+
+fn run_batched(kind: MetricKind, injected: &InjectedStream, split: usize, batch: usize) -> RunResult {
+    let (initial, increments) = injected.edges.split_at(split);
+    let mut engine = bootstrap_engine(kind, initial);
+    let mut attr = Attribution::new(injected);
+    let mut clock = SimulatedClock::new();
+    for chunk in increments.chunks(batch) {
+        for e in chunk {
+            attr.on_transaction(e);
+        }
+        let edges: Vec<_> = chunk.iter().map(|e| (e.src, e.dst, e.raw)).collect();
+        let trigger = chunk.last().expect("chunk").timestamp;
+        let t0 = Instant::now();
+        engine.insert_batch(&edges).expect("batch");
+        let dur = t0.elapsed().as_micros() as u64;
+        let (start, done) = clock.process(trigger, dur);
+        let mut queued: Vec<StreamEdge> = chunk.to_vec();
+        attr.respond(&mut queued, start, done);
+        attr.on_round(&engine, done);
+    }
+    attr.result(format!("{}-1K", kind.inc_name()))
+}
+
+fn main() {
+    let injected = labeled_stream();
+    // Split on the time axis so every injected burst (they start after
+    // 90% of the horizon) falls inside the replayed increments.
+    let horizon = injected.edges.last().expect("stream").timestamp;
+    let cut = (horizon as f64 * 0.88) as u64;
+    let split = injected.edges.partition_point(|e| e.timestamp < cut);
+    println!(
+        "Figure 9a: prevention ratio vs latency ({} transactions, {} fraud instances)\n",
+        injected.edges.len(),
+        injected.instances.len()
+    );
+    let mut table = Table::new([
+        "Config",
+        "mean fraud latency (ms)",
+        "prevention R (all)",
+        "R (detected inst.)",
+        "detected",
+    ]);
+    let mut results = Vec::new();
+    for kind in MetricKind::ALL {
+        results.push(run_grouped(kind, &injected, split));
+    }
+    for kind in MetricKind::ALL {
+        results.push(run_batched(kind, &injected, split, 1_000));
+    }
+    for r in &results {
+        table.row([
+            r.label.clone(),
+            format!("{:.3}", r.mean_fraud_latency_ms),
+            format!("{:.2}%", 100.0 * r.prevention),
+            format!("{:.2}%", 100.0 * r.prevention_detected_only),
+            format!("{}/{}", r.detected, r.instances),
+        ]);
+    }
+    table.print();
+    println!("\n(paper: IncDGG 88.34%, IncDWG 86.53%, IncFDG 92.47%; prevention decreases");
+    println!(" as latency increases — grouped variants dominate the 1K-batch variants)");
+}

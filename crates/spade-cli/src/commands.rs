@@ -1,0 +1,366 @@
+//! Subcommand implementations for the `spade` binary.
+
+use crate::args::Args;
+use spade_core::metric::{DensityMetric, Fraudar, UnweightedDensity, WeightedDensity};
+use spade_core::{
+    load_engine, save_engine, EdgeGrouper, GroupingConfig, SpadeConfig, SpadeEngine,
+};
+use spade_gen::datasets::DatasetSpec;
+use spade_graph::io::{read_edge_list, EdgeRecord};
+use spade_graph::VertexId;
+use spade_metrics::Table;
+use std::error::Error;
+use std::time::Instant;
+
+type AnyError = Box<dyn Error>;
+
+/// Enum-dispatched metric chosen by `--metric`.
+#[derive(Clone, Debug)]
+pub enum CliMetric {
+    /// DG.
+    Dg(UnweightedDensity),
+    /// DW.
+    Dw(WeightedDensity),
+    /// FD.
+    Fd(Fraudar),
+}
+
+impl CliMetric {
+    fn from_name(name: &str) -> Result<CliMetric, AnyError> {
+        match name.to_ascii_lowercase().as_str() {
+            "dg" => Ok(CliMetric::Dg(UnweightedDensity)),
+            "dw" => Ok(CliMetric::Dw(WeightedDensity)),
+            "fd" => Ok(CliMetric::Fd(Fraudar::new())),
+            other => Err(format!("unknown metric {other:?} (expected dg, dw or fd)").into()),
+        }
+    }
+}
+
+impl DensityMetric for CliMetric {
+    fn vertex_susp(&self, u: VertexId, g: &spade_graph::DynamicGraph) -> f64 {
+        match self {
+            CliMetric::Dg(m) => m.vertex_susp(u, g),
+            CliMetric::Dw(m) => m.vertex_susp(u, g),
+            CliMetric::Fd(m) => m.vertex_susp(u, g),
+        }
+    }
+
+    fn edge_susp(&self, s: VertexId, d: VertexId, raw: f64, g: &spade_graph::DynamicGraph) -> f64 {
+        match self {
+            CliMetric::Dg(m) => m.edge_susp(s, d, raw, g),
+            CliMetric::Dw(m) => m.edge_susp(s, d, raw, g),
+            CliMetric::Fd(m) => m.edge_susp(s, d, raw, g),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        match self {
+            CliMetric::Dg(m) => m.name(),
+            CliMetric::Dw(m) => m.name(),
+            CliMetric::Fd(m) => m.name(),
+        }
+    }
+
+    fn accumulates_duplicates(&self) -> bool {
+        match self {
+            CliMetric::Dg(m) => m.accumulates_duplicates(),
+            CliMetric::Dw(m) => m.accumulates_duplicates(),
+            CliMetric::Fd(m) => m.accumulates_duplicates(),
+        }
+    }
+}
+
+/// Prints usage.
+pub fn print_help() {
+    eprintln!(
+        "spade — real-time fraud detection on evolving transaction graphs
+
+USAGE:
+  spade detect   <edges.txt> [--metric dg|dw|fd] [--top N]
+  spade stream   <edges.txt> [--metric dg|dw|fd] [--initial 0.9]
+                 [--batch N | --grouping]
+  spade gen      [--dataset Grab1] [--scale 0.01] [--seed 42] [--out FILE]
+  spade snapshot <edges.txt> --out FILE [--metric dg|dw|fd]
+  spade resume   <FILE> [--metric dg|dw|fd] [--top N]
+  spade help
+
+Edge lists are whitespace-separated `src dst [raw] [timestamp]` lines."
+    );
+}
+
+fn load_records(path: &str) -> Result<Vec<EdgeRecord>, AnyError> {
+    let file = std::fs::File::open(path)
+        .map_err(|e| format!("cannot open {path}: {e}"))?;
+    let (records, _) = read_edge_list(file)?;
+    Ok(records)
+}
+
+fn metric_from(args: &Args) -> Result<CliMetric, AnyError> {
+    CliMetric::from_name(&args.str_opt("metric", "dw"))
+}
+
+fn print_communities<M: DensityMetric>(
+    engine: &mut SpadeEngine<M>,
+    top: usize,
+) {
+    let det = engine.detect();
+    if det.size == 0 {
+        println!("no suspicious community detected");
+        return;
+    }
+    let instances = spade_core::enumerate_static(
+        engine.graph(),
+        spade_core::EnumerationConfig {
+            max_instances: top,
+            min_density: det.density / 50.0,
+            ..Default::default()
+        },
+    );
+    let mut table = Table::new(["#", "members", "density", "sample accounts"]);
+    for (i, inst) in instances.iter().enumerate() {
+        let sample: Vec<String> =
+            inst.members.iter().take(8).map(|m| m.0.to_string()).collect();
+        table.row([
+            (i + 1).to_string(),
+            inst.members.len().to_string(),
+            format!("{:.3}", inst.density),
+            sample.join(","),
+        ]);
+    }
+    table.print();
+}
+
+/// `spade detect`: one static detection over the whole file.
+pub fn detect(args: &Args) -> Result<(), AnyError> {
+    let path = args.pos(0).ok_or("detect needs an edge-list path")?;
+    let metric = metric_from(args)?;
+    let top = args.num_opt("top", 3usize)?;
+    let records = load_records(path)?;
+    let started = Instant::now();
+    let mut engine = SpadeEngine::bootstrap(
+        metric,
+        SpadeConfig::default(),
+        records.iter().map(|r| (r.src, r.dst, r.weight)),
+    )?;
+    println!(
+        "{} transactions -> {} vertices / {} edges, peeled in {:.1} ms ({})",
+        records.len(),
+        engine.graph().num_vertices(),
+        engine.graph().num_edges(),
+        started.elapsed().as_secs_f64() * 1e3,
+        engine.metric().name(),
+    );
+    print_communities(&mut engine, top);
+    Ok(())
+}
+
+/// `spade stream`: bootstrap on a prefix, replay the rest incrementally.
+pub fn stream(args: &Args) -> Result<(), AnyError> {
+    let path = args.pos(0).ok_or("stream needs an edge-list path")?;
+    let metric = metric_from(args)?;
+    let initial = args.num_opt("initial", 0.9f64)?;
+    if !(0.0..=1.0).contains(&initial) {
+        return Err("--initial must be within [0, 1]".into());
+    }
+    let batch = args.num_opt("batch", 1usize)?.max(1);
+    let grouping = args.flag("grouping");
+    let records = load_records(path)?;
+    let cut = ((records.len() as f64) * initial) as usize;
+    let (head, tail) = records.split_at(cut.min(records.len()));
+
+    let mut engine = SpadeEngine::bootstrap(
+        metric,
+        SpadeConfig::default(),
+        head.iter().map(|r| (r.src, r.dst, r.weight)),
+    )?;
+    println!(
+        "bootstrapped on {} transactions; replaying {} increments ({}, {})",
+        head.len(),
+        tail.len(),
+        engine.metric().name(),
+        if grouping { "edge grouping".to_string() } else { format!("batch {batch}") },
+    );
+
+    let started = Instant::now();
+    if grouping {
+        let mut grouper = EdgeGrouper::new(GroupingConfig::default());
+        for r in tail {
+            grouper.submit(&mut engine, r.src, r.dst, r.weight)?;
+        }
+        grouper.flush(&mut engine)?;
+        let s = grouper.stats();
+        println!(
+            "grouping: {} submitted, {} urgent, {} flushes",
+            s.submitted, s.urgent, s.flushes
+        );
+    } else {
+        let mut buf = Vec::with_capacity(batch);
+        for chunk in tail.chunks(batch) {
+            buf.clear();
+            buf.extend(chunk.iter().map(|r| (r.src, r.dst, r.weight)));
+            engine.insert_batch(&buf)?;
+        }
+    }
+    let elapsed = started.elapsed();
+    let stats = engine.total_reorder_stats();
+    println!(
+        "replayed in {:.1} ms ({:.1} us/edge); affected: {} windows, {} moved vertices, {} scanned edges",
+        elapsed.as_secs_f64() * 1e3,
+        elapsed.as_secs_f64() * 1e6 / tail.len().max(1) as f64,
+        stats.windows,
+        stats.moved,
+        stats.edges_scanned,
+    );
+    print_communities(&mut engine, args.num_opt("top", 3usize)?);
+    Ok(())
+}
+
+/// `spade gen`: write a Table 3 surrogate dataset as an edge list.
+pub fn generate(args: &Args) -> Result<(), AnyError> {
+    let name = args.str_opt("dataset", "Grab1");
+    let scale = args.num_opt("scale", 0.01f64)?;
+    let seed = args.num_opt("seed", 42u64)?;
+    let out = args.str_opt("out", "-");
+    let spec = DatasetSpec::table3()
+        .into_iter()
+        .find(|s| s.name.eq_ignore_ascii_case(&name))
+        .ok_or_else(|| format!("unknown dataset {name:?} (see `spade help`)"))?;
+    let data = spec.generate(scale, seed);
+    let mut lines = String::new();
+    for e in data.initial.iter().chain(&data.increments) {
+        use std::fmt::Write as _;
+        let _ = writeln!(lines, "{} {} {} {}", e.src, e.dst, e.raw, e.timestamp);
+    }
+    if out == "-" {
+        print!("{lines}");
+    } else {
+        std::fs::write(&out, lines)?;
+        eprintln!(
+            "wrote {} transactions of {} (scale {scale}) to {out}",
+            data.initial.len() + data.increments.len(),
+            spec.name
+        );
+    }
+    Ok(())
+}
+
+/// `spade snapshot`: bootstrap and persist engine state.
+pub fn snapshot(args: &Args) -> Result<(), AnyError> {
+    let path = args.pos(0).ok_or("snapshot needs an edge-list path")?;
+    let out = args.str_opt("out", "");
+    if out.is_empty() {
+        return Err("snapshot needs --out FILE".into());
+    }
+    let metric = metric_from(args)?;
+    let records = load_records(path)?;
+    let engine = SpadeEngine::bootstrap(
+        metric,
+        SpadeConfig::default(),
+        records.iter().map(|r| (r.src, r.dst, r.weight)),
+    )?;
+    let file = std::fs::File::create(&out)?;
+    save_engine(&engine, std::io::BufWriter::new(file))?;
+    eprintln!(
+        "snapshot of {} vertices / {} edges written to {out}",
+        engine.graph().num_vertices(),
+        engine.graph().num_edges()
+    );
+    Ok(())
+}
+
+/// `spade resume`: restore a snapshot and detect, with no re-peel.
+pub fn resume(args: &Args) -> Result<(), AnyError> {
+    let path = args.pos(0).ok_or("resume needs a snapshot path")?;
+    let metric = metric_from(args)?;
+    let file = std::fs::File::open(path)?;
+    let started = Instant::now();
+    let mut engine = load_engine(metric, SpadeConfig::default(), std::io::BufReader::new(file))?;
+    println!(
+        "restored {} vertices / {} edges in {:.1} ms (no re-peel)",
+        engine.graph().num_vertices(),
+        engine.graph().num_edges(),
+        started.elapsed().as_secs_f64() * 1e3
+    );
+    print_communities(&mut engine, args.num_opt("top", 3usize)?);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(line: &str) -> Args {
+        Args::parse(line.split_whitespace().map(String::from)).unwrap()
+    }
+
+    fn temp_dir() -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("spade_cli_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn write_sample_edges(dir: &std::path::Path) -> String {
+        let path = dir.join("edges.txt");
+        let mut content = String::new();
+        // Background path + a dense ring.
+        for i in 0..6 {
+            content.push_str(&format!("u{i} u{} 1.0 {i}\n", i + 1));
+        }
+        for a in 0..4 {
+            for b in 0..4 {
+                if a != b {
+                    content.push_str(&format!("f{a} f{b} 30.0 {}\n", 100 + a * 4 + b));
+                }
+            }
+        }
+        std::fs::write(&path, content).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn metric_selection() {
+        assert_eq!(CliMetric::from_name("dg").unwrap().name(), "DG");
+        assert_eq!(CliMetric::from_name("DW").unwrap().name(), "DW");
+        assert_eq!(CliMetric::from_name("fd").unwrap().name(), "FD");
+        assert!(CliMetric::from_name("bogus").is_err());
+    }
+
+    #[test]
+    fn detect_command_runs() {
+        let dir = temp_dir();
+        let path = write_sample_edges(&dir);
+        detect(&args(&format!("detect {path} --metric dw --top 2"))).unwrap();
+    }
+
+    #[test]
+    fn stream_command_runs_in_both_modes() {
+        let dir = temp_dir();
+        let path = write_sample_edges(&dir);
+        stream(&args(&format!("stream {path} --metric dw --initial 0.5 --batch 4"))).unwrap();
+        stream(&args(&format!("stream {path} --metric fd --initial 0.5 --grouping"))).unwrap();
+    }
+
+    #[test]
+    fn gen_snapshot_resume_pipeline() {
+        let dir = temp_dir();
+        let edges = dir.join("gen.txt").to_string_lossy().into_owned();
+        generate(&args(&format!(
+            "gen --dataset Wiki-Vote --scale 0.02 --seed 7 --out {edges}"
+        )))
+        .unwrap();
+        assert!(std::fs::metadata(&edges).unwrap().len() > 0);
+
+        let snap = dir.join("state.spade").to_string_lossy().into_owned();
+        snapshot(&args(&format!("snapshot {edges} --metric dg --out {snap}"))).unwrap();
+        resume(&args(&format!("resume {snap} --metric dg --top 2"))).unwrap();
+    }
+
+    #[test]
+    fn helpful_errors() {
+        assert!(detect(&args("detect")).is_err());
+        assert!(detect(&args("detect /nonexistent/file")).is_err());
+        assert!(stream(&args("stream missing.txt --initial 2.0")).is_err());
+        assert!(generate(&args("gen --dataset NotADataset")).is_err());
+        assert!(snapshot(&args("snapshot whatever.txt")).is_err());
+    }
+}

@@ -1,0 +1,53 @@
+//! `spade` — command-line fraud detection on transaction edge lists.
+//!
+//! ```text
+//! spade detect <edges.txt> [--metric dg|dw|fd] [--top N]
+//! spade stream <edges.txt> [--metric ...] [--initial 0.9] [--batch N | --grouping]
+//! spade gen    [--dataset Grab1] [--scale 0.01] [--seed N] [--out FILE]
+//! spade snapshot <edges.txt> --out <file.spade> [--metric ...]
+//! spade resume  <file.spade> [--metric ...] [--top N]
+//! spade help
+//! ```
+//!
+//! Edge-list lines are `src dst [raw] [timestamp]` (whitespace separated,
+//! `#`/`%` comments), as read by `spade_graph::io`.
+
+mod args;
+mod commands;
+
+use args::Args;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args = match Args::parse(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            commands::print_help();
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match args.command.as_str() {
+        "detect" => commands::detect(&args),
+        "stream" => commands::stream(&args),
+        "gen" => commands::generate(&args),
+        "snapshot" => commands::snapshot(&args),
+        "resume" => commands::resume(&args),
+        "help" | "--help" | "-h" => {
+            commands::print_help();
+            Ok(())
+        }
+        other => {
+            eprintln!("error: unknown subcommand {other:?}");
+            commands::print_help();
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! Peeling-sequence reordering with edge deletion (Appendix C.1).
+//!
+//! Deleting (or lightening) edge `(u_i, u_j)` with `i < j` in the peeling
+//! order decreases only `Δ_i` — the earlier endpoint counted the edge at
+//! its peel step; the later one did not (`u_i ∉ S_j`). The lightened
+//! vertex may now belong *earlier* in the sequence, so the pass has two
+//! phases:
+//!
+//! 1. **Backward walk** (`T_d` Case 1/2). Seed the pending queue with
+//!    `u_i` at `Δ_i - c`. Walk positions `k = i-1, i-2, …`: while the
+//!    candidate's *full-set* weight `w_{u_k}(S_0)` (an upper bound of its
+//!    weight in any remaining set) does not beat the queue minimum, the
+//!    candidate might interleave with queued vertices — move it into the
+//!    queue at its stored weight `Δ_k` (exact: `S_k` is precisely
+//!    `{u_k} ∪ T ∪ S_{i+1}` at that moment) and *raise* the priorities of
+//!    its queued neighbors, whose remaining sets just grew by `u_k`.
+//!    Stop at the first candidate that strictly beats the queue minimum:
+//!    the old greedy property then guarantees the whole prefix before it
+//!    precedes everything queued (see the chain in DESIGN.md §4).
+//! 2. **Forward merge** — identical to the insertion merge loop
+//!    (the shared window runner in `crate::reorder`) starting at position `i+1`.
+//!
+//! The emitted window is written back in place and reported to the
+//! detection index like any insertion window.
+
+use crate::order::PeelKey;
+use crate::reorder::{run_window, seed, seed_with_weight, ReorderScratch, ReorderStats};
+use crate::state::PeelingState;
+use spade_graph::{DynamicGraph, GraphError, VertexId};
+
+/// Removes `amount` of weight from edge `(src, dst)` in `graph` (deleting
+/// the edge when fully drained) and restores the greedy peeling invariant
+/// of `state`.
+///
+/// `on_window` receives the rewritten physical range exactly as in
+/// [`crate::reorder::reorder`].
+pub fn delete_and_reorder(
+    graph: &mut DynamicGraph,
+    state: &mut PeelingState,
+    scratch: &mut ReorderScratch,
+    src: VertexId,
+    dst: VertexId,
+    amount: f64,
+    mut on_window: impl FnMut(usize, &[f64]),
+) -> Result<ReorderStats, GraphError> {
+    let mut stats = ReorderStats::default();
+    let removed = graph.decrease_edge(src, dst, amount)?;
+
+    let (pi, pj) = (state.position_of(src), state.position_of(dst));
+    let (lightened, other) = if pi < pj { (src, dst) } else { (dst, src) };
+    let (i, j) = (pi.min(pj), pi.max(pj));
+
+    scratch.begin_epoch(graph.num_vertices());
+
+    // Phase 1a: seed the earlier endpoint — its stored weight counted the
+    // deleted edge (`u_j ∈ S_i`), so the exact new weight is `Δ_i - c`.
+    seed_with_weight(graph, scratch, lightened, state.delta_at(i) - removed, &mut stats);
+    // Phase 1b: seed the later endpoint straight out of the suffix. Its
+    // stored `Δ_j` is unchanged, but its weight in every set containing
+    // the earlier endpoint dropped by `c`, so it may now belong before
+    // position `j` — even before position `i`. Its old slot is consumed by
+    // the forced window extent below (the `lifted` mark makes the merge
+    // loop skip it even if the vertex popped earlier).
+    scratch.mark_lifted(other);
+    seed(graph, state, scratch, other, i + 1, &mut stats);
+
+    // Phase 1c: backward walk. While the candidate's full-set weight (an
+    // upper bound of its weight under any remaining set) does not strictly
+    // beat the queue minimum, the candidate may interleave — absorb it.
+    let mut start = i;
+    while start > 0 {
+        let head = scratch.queue.peek().expect("queue non-empty during backward walk");
+        let cand = state.vertex_at(start - 1);
+        let upper = PeelKey::new(graph.incident_weight(cand), cand);
+        if upper < head {
+            break;
+        }
+        raise_queued_neighbors(graph, scratch, cand, &mut stats);
+        seed_with_weight(graph, scratch, cand, state.delta_at(start - 1), &mut stats);
+        start -= 1;
+    }
+
+    // Phase 2: forward merge from the first untouched suffix position,
+    // forced to consume the later endpoint's old slot.
+    let mut k = i + 1;
+    run_window(graph, state, scratch, start, &mut k, j + 1, &mut stats, &mut on_window);
+    Ok(stats)
+}
+
+/// Lowers the prior suspiciousness of `v` to `new_weight` and restores the
+/// greedy invariant. A vertex-weight decrease behaves exactly like an
+/// incident-edge deletion without a second endpoint: only `v`'s own
+/// peeling weight drops (by the same amount at every prefix), so the
+/// deletion pass applies with an empty "later endpoint" phase.
+pub fn decrease_vertex_weight_and_reorder(
+    graph: &mut DynamicGraph,
+    state: &mut PeelingState,
+    scratch: &mut ReorderScratch,
+    v: VertexId,
+    new_weight: f64,
+    mut on_window: impl FnMut(usize, &[f64]),
+) -> Result<ReorderStats, GraphError> {
+    let mut stats = ReorderStats::default();
+    let drop = graph.vertex_weight(v) - new_weight;
+    debug_assert!(drop >= 0.0, "use the insertion reorder for weight increases");
+    graph.set_vertex_weight(v, new_weight)?;
+    if drop == 0.0 {
+        return Ok(stats);
+    }
+    let i = state.position_of(v);
+    scratch.begin_epoch(graph.num_vertices());
+    seed_with_weight(graph, scratch, v, state.delta_at(i) - drop, &mut stats);
+    let mut start = i;
+    while start > 0 {
+        let head = scratch.queue.peek().expect("queue non-empty during backward walk");
+        let cand = state.vertex_at(start - 1);
+        let upper = PeelKey::new(graph.incident_weight(cand), cand);
+        if upper < head {
+            break;
+        }
+        raise_queued_neighbors(graph, scratch, cand, &mut stats);
+        seed_with_weight(graph, scratch, cand, state.delta_at(start - 1), &mut stats);
+        start -= 1;
+    }
+    let mut k = i + 1;
+    run_window(graph, state, scratch, start, &mut k, 0, &mut stats, &mut on_window);
+    Ok(stats)
+}
+
+/// When a backward-walk candidate joins the queue, every queued neighbor's
+/// remaining set gains the candidate — their priorities must rise by the
+/// mutual edge weight (the deletion-side mirror of the insertion loop's
+/// decrements).
+fn raise_queued_neighbors(
+    graph: &DynamicGraph,
+    scratch: &mut ReorderScratch,
+    cand: VertexId,
+    stats: &mut ReorderStats,
+) {
+    for nb in graph.neighbors(cand) {
+        if scratch.queue.contains(nb.v) {
+            scratch.queue.add_weight(nb.v, nb.w);
+        }
+    }
+    stats.edges_scanned += graph.degree(cand);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::peel::peel;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    fn check_delete(base: &DynamicGraph, deletions: &[(u32, u32)]) {
+        let mut graph = base.clone();
+        let mut state = PeelingState::from_outcome(&peel(&graph));
+        let mut scratch = ReorderScratch::new();
+        for &(a, b) in deletions {
+            let w = graph.edge_weight(v(a), v(b)).unwrap();
+            delete_and_reorder(&mut graph, &mut state, &mut scratch, v(a), v(b), w, |_, _| {})
+                .unwrap();
+            let fresh = peel(&graph);
+            assert_eq!(
+                state.logical_order(),
+                fresh.order,
+                "deletion of ({a},{b}) diverged from static peel"
+            );
+            state.validate_greedy(&graph, 1e-9);
+        }
+    }
+
+    fn paper_example_plus_edge() -> DynamicGraph {
+        // Fig. 16's setting: the Fig. 3 graph *with* the (u1, u5) edge, from
+        // which the outdated edge is then deleted.
+        let mut g = DynamicGraph::new();
+        for _ in 0..5 {
+            g.add_vertex(0.0).unwrap();
+        }
+        g.insert_edge(v(0), v(1), 2.0).unwrap();
+        g.insert_edge(v(1), v(2), 1.0).unwrap();
+        g.insert_edge(v(1), v(4), 4.0).unwrap();
+        g.insert_edge(v(3), v(4), 2.0).unwrap();
+        g.insert_edge(v(0), v(3), 2.0).unwrap();
+        g.insert_edge(v(0), v(4), 4.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn paper_deletion_example() {
+        check_delete(&paper_example_plus_edge(), &[(0, 4)]);
+    }
+
+    #[test]
+    fn delete_every_edge_one_by_one() {
+        let g = paper_example_plus_edge();
+        let edges: Vec<(u32, u32)> = g.iter_edges().map(|(s, d, _)| (s.0, d.0)).collect();
+        check_delete(&g, &edges);
+    }
+
+    #[test]
+    fn insert_then_delete_restores_order() {
+        let base = paper_example_plus_edge();
+        let mut graph = base.clone();
+        let mut state = PeelingState::from_outcome(&peel(&graph));
+        let mut scratch = ReorderScratch::new();
+        let before = state.logical_order();
+
+        graph.insert_edge(v(2), v(3), 6.0).unwrap();
+        let mut blacks = Vec::new();
+        crate::reorder::reorder_single_edge(
+            &graph, &mut state, v(2), v(3), &mut scratch, &mut blacks, |_, _| {},
+        );
+        delete_and_reorder(&mut graph, &mut state, &mut scratch, v(2), v(3), 6.0, |_, _| {})
+            .unwrap();
+        assert_eq!(state.logical_order(), before);
+        state.validate_greedy(&graph, 1e-9);
+    }
+
+    #[test]
+    fn partial_decrease_reorders_correctly() {
+        let base = paper_example_plus_edge();
+        let mut graph = base.clone();
+        let mut state = PeelingState::from_outcome(&peel(&graph));
+        let mut scratch = ReorderScratch::new();
+        delete_and_reorder(&mut graph, &mut state, &mut scratch, v(1), v(4), 3.0, |_, _| {})
+            .unwrap();
+        assert_eq!(graph.edge_weight(v(1), v(4)), Some(1.0));
+        assert_eq!(state.logical_order(), peel(&graph).order);
+        state.validate_greedy(&graph, 1e-9);
+    }
+
+    #[test]
+    fn deleting_missing_edge_errors_without_corruption() {
+        let base = paper_example_plus_edge();
+        let mut graph = base.clone();
+        let mut state = PeelingState::from_outcome(&peel(&graph));
+        let before = state.logical_order();
+        let mut scratch = ReorderScratch::new();
+        let err = delete_and_reorder(
+            &mut graph, &mut state, &mut scratch, v(2), v(4), 1.0, |_, _| {},
+        );
+        assert!(err.is_err());
+        assert_eq!(state.logical_order(), before);
+    }
+
+    #[test]
+    fn randomized_interleaved_inserts_and_deletes() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(77);
+        for _trial in 0..30 {
+            let n = rng.gen_range(4..16usize);
+            let mut graph = DynamicGraph::new();
+            for _ in 0..n {
+                graph.add_vertex(0.0).unwrap();
+            }
+            for _ in 0..rng.gen_range(2..3 * n) {
+                let a = rng.gen_range(0..n as u32);
+                let b = rng.gen_range(0..n as u32);
+                if a != b {
+                    let _ = graph.insert_edge(v(a), v(b), rng.gen_range(1..6) as f64);
+                }
+            }
+            let mut state = PeelingState::from_outcome(&peel(&graph));
+            let mut scratch = ReorderScratch::new();
+            let mut blacks = Vec::new();
+            for _ in 0..rng.gen_range(1..20) {
+                let a = rng.gen_range(0..n as u32);
+                let b = rng.gen_range(0..n as u32);
+                if a == b {
+                    continue;
+                }
+                if rng.gen_bool(0.5) {
+                    if graph.insert_edge(v(a), v(b), rng.gen_range(1..6) as f64).is_ok() {
+                        crate::reorder::reorder_single_edge(
+                            &graph, &mut state, v(a), v(b), &mut scratch, &mut blacks, |_, _| {},
+                        );
+                    }
+                } else if let Some(w) = graph.edge_weight(v(a), v(b)) {
+                    let amount = if rng.gen_bool(0.5) { w } else { (w / 2.0).max(0.5) };
+                    delete_and_reorder(
+                        &mut graph, &mut state, &mut scratch, v(a), v(b), amount, |_, _| {},
+                    )
+                    .unwrap();
+                }
+            }
+            assert_eq!(state.logical_order(), peel(&graph).order, "diverged");
+            state.validate_greedy(&graph, 1e-9);
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! The peeling total order and the lazy-deletion minimum heap.
+//!
+//! Peeling (Algorithm 1) repeatedly extracts the vertex with the smallest
+//! peeling weight. Weight ties are frequent (DG weights are small integers),
+//! so every comparison in this crate uses the *total* order
+//! `(weight asc, vertex id desc)` — lexicographic, with `f64::total_cmp`
+//! on the weight. Determinism matters twice over: it makes runs
+//! reproducible, and it makes the incremental reorderings (§4) produce
+//! bit-identical sequences to a from-scratch peel, which the property
+//! tests rely on.
+//!
+//! Ties break toward the **larger id** ("newest first") deliberately:
+//! vertex ids are assigned in arrival order, and §4.1 inserts a new vertex
+//! at the *head* of the peeling sequence. Under newest-first ties that
+//! head placement is exactly what a from-scratch greedy peel would do for
+//! a fresh zero-weight vertex, so incremental and static sequences stay
+//! bit-identical even across vertex insertions.
+
+use spade_graph::VertexId;
+use std::cmp::{Ordering, Reverse};
+use std::collections::BinaryHeap;
+
+/// The `(weight, id)` key ordered lexicographically with total `f64`
+/// comparison.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PeelKey {
+    /// Current peeling weight.
+    pub weight: f64,
+    /// Vertex identifier (tie-breaker).
+    pub vertex: VertexId,
+}
+
+impl PeelKey {
+    /// Creates a key.
+    #[inline(always)]
+    pub fn new(weight: f64, vertex: VertexId) -> Self {
+        PeelKey { weight, vertex }
+    }
+}
+
+impl Eq for PeelKey {}
+
+impl PartialOrd for PeelKey {
+    #[inline(always)]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for PeelKey {
+    #[inline(always)]
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.weight
+            .total_cmp(&other.weight)
+            .then_with(|| other.vertex.cmp(&self.vertex))
+    }
+}
+
+/// A minimum priority queue over vertices with updatable weights.
+///
+/// Implemented as a lazy-deletion binary heap: `update` pushes a fresh
+/// entry and remembers the authoritative weight in a side table; `pop`
+/// discards entries whose weight no longer matches. This is the standard
+/// heap discipline for peeling (decrease-key-heavy, pop-light) and costs
+/// `O(log n)` per operation with excellent constants.
+#[derive(Clone, Debug, Default)]
+pub struct MinQueue {
+    heap: BinaryHeap<Reverse<PeelKey>>,
+    /// Authoritative current weight per enqueued vertex, keyed densely.
+    current: Vec<f64>,
+    /// Membership stamp: `live[v] == generation` means `v` is enqueued.
+    live: Vec<u64>,
+    generation: u64,
+    len: usize,
+}
+
+impl MinQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears the queue in O(1) amortized by bumping the liveness
+    /// generation; reuses allocations across epochs.
+    pub fn reset(&mut self, num_vertices: usize) {
+        self.heap.clear();
+        self.generation += 1;
+        if self.current.len() < num_vertices {
+            self.current.resize(num_vertices, 0.0);
+            self.live.resize(num_vertices, 0);
+        }
+        self.len = 0;
+    }
+
+    /// Number of live entries.
+    #[inline(always)]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no live entries remain.
+    #[inline(always)]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// `true` if `v` is currently enqueued.
+    #[inline(always)]
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.live[v.index()] == self.generation
+    }
+
+    /// The authoritative weight of an enqueued vertex.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if `v` is not enqueued.
+    #[inline(always)]
+    pub fn weight_of(&self, v: VertexId) -> f64 {
+        debug_assert!(self.contains(v), "weight_of on non-member {v}");
+        self.current[v.index()]
+    }
+
+    /// Inserts `v` with `weight`, or updates its weight if already present.
+    #[inline]
+    pub fn insert(&mut self, v: VertexId, weight: f64) {
+        let idx = v.index();
+        if self.live[idx] != self.generation {
+            self.live[idx] = self.generation;
+            self.len += 1;
+        }
+        self.current[idx] = weight;
+        self.heap.push(Reverse(PeelKey::new(weight, v)));
+    }
+
+    /// Adds `delta` to the weight of an enqueued vertex.
+    #[inline]
+    pub fn add_weight(&mut self, v: VertexId, delta: f64) {
+        debug_assert!(self.contains(v), "add_weight on non-member {v}");
+        let w = self.current[v.index()] + delta;
+        self.current[v.index()] = w;
+        self.heap.push(Reverse(PeelKey::new(w, v)));
+    }
+
+    /// The smallest live `(weight, id)` key without removing it.
+    #[inline]
+    pub fn peek(&mut self) -> Option<PeelKey> {
+        while let Some(&Reverse(key)) = self.heap.peek() {
+            let idx = key.vertex.index();
+            if self.live[idx] == self.generation && self.current[idx] == key.weight {
+                return Some(key);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    /// Removes and returns the smallest live `(weight, id)` key.
+    #[inline]
+    pub fn pop(&mut self) -> Option<PeelKey> {
+        let key = self.peek()?;
+        self.heap.pop();
+        self.live[key.vertex.index()] = 0;
+        self.len -= 1;
+        Some(key)
+    }
+
+    /// Removes an arbitrary member (lazy: stale heap entries are discarded
+    /// by later peeks). Returns `true` if `v` was enqueued.
+    #[inline]
+    pub fn remove(&mut self, v: VertexId) -> bool {
+        if self.contains(v) {
+            self.live[v.index()] = 0;
+            self.len -= 1;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    #[test]
+    fn key_orders_by_weight_then_newest_id() {
+        let a = PeelKey::new(1.0, v(5));
+        let b = PeelKey::new(2.0, v(1));
+        let c = PeelKey::new(1.0, v(6));
+        assert!(a < b);
+        // Equal weights: the newer (larger) id wins.
+        assert!(c < a);
+        assert!(c < b);
+    }
+
+    #[test]
+    fn key_total_order_handles_negatives_and_zero() {
+        let neg = PeelKey::new(-1.0, v(0));
+        let zero = PeelKey::new(0.0, v(0));
+        let negzero = PeelKey::new(-0.0, v(0));
+        assert!(neg < zero);
+        // total_cmp puts -0.0 < +0.0: a stable, documented order.
+        assert!(negzero < zero);
+    }
+
+    #[test]
+    fn pops_in_sorted_order() {
+        let mut q = MinQueue::new();
+        q.reset(10);
+        q.insert(v(3), 5.0);
+        q.insert(v(1), 2.0);
+        q.insert(v(2), 2.0);
+        q.insert(v(0), 9.0);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|k| k.vertex.0).collect();
+        // Weight ties (v1, v2 at 2.0) break newest-first.
+        assert_eq!(order, vec![2, 1, 3, 0]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn update_decreases_and_increases() {
+        let mut q = MinQueue::new();
+        q.reset(4);
+        q.insert(v(0), 10.0);
+        q.insert(v(1), 20.0);
+        q.add_weight(v(1), -15.0); // 1 now at 5.0
+        assert_eq!(q.peek().unwrap().vertex, v(1));
+        q.insert(v(1), 50.0); // direct overwrite upward
+        assert_eq!(q.pop().unwrap().vertex, v(0));
+        let last = q.pop().unwrap();
+        assert_eq!(last.vertex, v(1));
+        assert_eq!(last.weight, 50.0);
+    }
+
+    #[test]
+    fn reset_reuses_without_leaking_members() {
+        let mut q = MinQueue::new();
+        q.reset(4);
+        q.insert(v(2), 1.0);
+        q.reset(4);
+        assert!(q.is_empty());
+        assert!(!q.contains(v(2)));
+        q.insert(v(3), 7.0);
+        assert_eq!(q.pop().unwrap().vertex, v(3));
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn stale_entries_are_discarded() {
+        let mut q = MinQueue::new();
+        q.reset(4);
+        q.insert(v(0), 1.0);
+        q.insert(v(0), 3.0);
+        q.insert(v(1), 2.0);
+        // The stale (1.0, v0) entry must not win.
+        assert_eq!(q.pop().unwrap().vertex, v(1));
+        assert_eq!(q.pop().unwrap().weight, 3.0);
+    }
+
+    #[test]
+    fn remove_arbitrary_member() {
+        let mut q = MinQueue::new();
+        q.reset(4);
+        q.insert(v(0), 1.0);
+        q.insert(v(1), 2.0);
+        q.insert(v(2), 3.0);
+        assert!(q.remove(v(0)));
+        assert!(!q.remove(v(0)));
+        assert!(!q.remove(v(3)));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop().unwrap().vertex, v(1));
+        assert_eq!(q.pop().unwrap().vertex, v(2));
+    }
+
+    #[test]
+    fn len_tracks_live_membership() {
+        let mut q = MinQueue::new();
+        q.reset(8);
+        q.insert(v(0), 1.0);
+        q.insert(v(1), 2.0);
+        q.insert(v(0), 5.0); // update, not a new member
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -1,0 +1,559 @@
+//! Incremental peeling-sequence reordering (paper §4.1 and §4.2).
+//!
+//! Both the single-edge algorithm `T` and the batch Algorithm 2 are
+//! instances of one *window runner*: a pending queue `T` of dislodged
+//! vertices is merged against the still-valid suffix of the old peeling
+//! sequence, emitting vertices in `(weight, id)` order until `T` drains.
+//! Everything before the window and after it is untouched — the window is
+//! exactly the affected area `G_T` whose size the paper's complexity
+//! analysis is about (`O(|E_T| + |E_T| log |V_T|)`).
+//!
+//! Loop invariant (Lemmas 4.1/4.2 generalized to the `(weight, id)` total
+//! order): let `R = T ∪ S_k` be the not-yet-emitted vertices, where `S_k`
+//! is the old suffix from position `k`.
+//!
+//! * every queue member's priority is its true peeling weight `w_u(R)`;
+//! * every *white* suffix vertex's stored weight `Δ_k` equals `w_u(R)`
+//!   (white = never adjacent to anything that entered `T`, not in `ΔV`);
+//! * gray/black suffix vertices may be stale, so they are *recovered*
+//!   (recomputed against `R` straight from the adjacency lists) before any
+//!   ordering decision uses them.
+//!
+//! Under the invariant, comparing the queue head's key with the stored key
+//! at position `k` decides the true global minimum of `R` (Lemma 4.2),
+//! so the emitted sequence is bit-identical to a from-scratch greedy peel
+//! of the updated graph.
+
+use crate::order::{MinQueue, PeelKey};
+use crate::state::PeelingState;
+use spade_graph::{DynamicGraph, VertexId};
+
+/// Counters describing the affected area of one reordering pass — the
+/// quantities behind the paper's "Spade processes only 3.5e-4 of edges"
+/// observation (§5.1).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ReorderStats {
+    /// Number of contiguous reorder windows executed.
+    pub windows: usize,
+    /// Vertices whose slot was rewritten (total window length, `|V_T|`).
+    pub moved: usize,
+    /// Vertices that passed through the pending queue `T`.
+    pub queued: usize,
+    /// Adjacency entries scanned (`|E_T|`, counting both directions).
+    pub edges_scanned: usize,
+}
+
+impl ReorderStats {
+    /// Accumulates another pass's counters.
+    pub fn merge(&mut self, other: ReorderStats) {
+        self.windows += other.windows;
+        self.moved += other.moved;
+        self.queued += other.queued;
+        self.edges_scanned += other.edges_scanned;
+    }
+}
+
+/// Reusable allocations for the reordering passes.
+#[derive(Clone, Debug, Default)]
+pub struct ReorderScratch {
+    pub(crate) queue: MinQueue,
+    /// Epoch stamps: `gray[v] == epoch` means `v` is colored gray (it has
+    /// or had a pending-queue neighbor, so its stored weight is suspect).
+    gray: Vec<u64>,
+    /// Epoch stamps for the black set `ΔV` (endpoints of updates).
+    black: Vec<u64>,
+    /// Epoch stamps for vertices seeded *directly out of the suffix*
+    /// (deletion's later endpoint): their old slot must be consumed
+    /// silently even after they pop from the queue.
+    lifted: Vec<u64>,
+    epoch: u64,
+    /// Emission buffer for the current window, in logical order.
+    window: Vec<(VertexId, f64)>,
+}
+
+impl ReorderScratch {
+    /// Creates empty scratch space.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn begin_epoch(&mut self, num_vertices: usize) {
+        self.epoch += 1;
+        if self.gray.len() < num_vertices {
+            self.gray.resize(num_vertices, 0);
+            self.black.resize(num_vertices, 0);
+            self.lifted.resize(num_vertices, 0);
+        }
+        self.queue.reset(num_vertices);
+        self.window.clear();
+    }
+
+    #[inline(always)]
+    fn is_gray(&self, v: VertexId) -> bool {
+        self.gray[v.index()] == self.epoch
+    }
+
+    #[inline(always)]
+    fn is_black(&self, v: VertexId) -> bool {
+        self.black[v.index()] == self.epoch
+    }
+
+    /// Marks a vertex as seeded straight out of the suffix; its stale slot
+    /// is skipped when the cursor passes it.
+    pub(crate) fn mark_lifted(&mut self, v: VertexId) {
+        self.lifted[v.index()] = self.epoch;
+    }
+
+    #[inline(always)]
+    fn is_lifted(&self, v: VertexId) -> bool {
+        self.lifted[v.index()] == self.epoch
+    }
+}
+
+/// One reordering pass over `state` after `graph` has already been
+/// mutated.
+///
+/// `blacks` is the affected vertex set `ΔV`: for every inserted edge the
+/// endpoint with the *smaller* peeling position (whose recorded weight
+/// grew), plus any newly created vertices. The pass sorts and deduplicates
+/// it internally.
+///
+/// `on_window(phys_lo, new_deltas)` fires once per rewritten window with
+/// the physical (rank-space) range and its new weights so a density index
+/// can ingest the change.
+pub fn reorder(
+    graph: &DynamicGraph,
+    state: &mut PeelingState,
+    blacks: &mut Vec<VertexId>,
+    scratch: &mut ReorderScratch,
+    mut on_window: impl FnMut(usize, &[f64]),
+) -> ReorderStats {
+    let mut stats = ReorderStats::default();
+    if blacks.is_empty() || state.is_empty() {
+        return stats;
+    }
+    scratch.begin_epoch(graph.num_vertices());
+
+    blacks.sort_unstable_by_key(|&v| state.position_of(v));
+    blacks.dedup();
+    for &b in blacks.iter() {
+        scratch.black[b.index()] = scratch.epoch;
+    }
+
+    // Global suffix cursor; windows never move it backwards.
+    let mut cursor = 0usize;
+    for &b in blacks.iter() {
+        let pos = state.position_of(b);
+        if pos < cursor {
+            // Absorbed by a previous window (it was black, so the window
+            // loop recovered and re-emitted it already).
+            continue;
+        }
+        let start = pos;
+        let mut k = pos + 1;
+        scratch.window.clear();
+        seed(graph, state, scratch, b, k, &mut stats);
+        run_window(graph, state, scratch, start, &mut k, 0, &mut stats, &mut on_window);
+        cursor = k;
+    }
+    stats
+}
+
+/// Inserts `v` into the pending queue with its *recovered* weight — the
+/// true peeling weight against the remaining set `R`, recomputed from the
+/// adjacency lists — and grays its neighbors.
+pub(crate) fn seed(
+    graph: &DynamicGraph,
+    state: &PeelingState,
+    scratch: &mut ReorderScratch,
+    v: VertexId,
+    k_current: usize,
+    stats: &mut ReorderStats,
+) {
+    let w = recovered_weight(graph, state, scratch, v, k_current, stats);
+    scratch.queue.insert(v, w);
+    stats.queued += 1;
+    for nb in graph.neighbors(v) {
+        scratch.gray[nb.v.index()] = scratch.epoch;
+    }
+    stats.edges_scanned += graph.degree(v);
+}
+
+/// Inserts `v` into the pending queue with a caller-supplied weight
+/// (used by the deletion extension, whose backward phase knows the exact
+/// stored weights). Grays neighbors like [`seed`].
+pub(crate) fn seed_with_weight(
+    graph: &DynamicGraph,
+    scratch: &mut ReorderScratch,
+    v: VertexId,
+    weight: f64,
+    stats: &mut ReorderStats,
+) {
+    scratch.queue.insert(v, weight);
+    stats.queued += 1;
+    for nb in graph.neighbors(v) {
+        scratch.gray[nb.v.index()] = scratch.epoch;
+    }
+    stats.edges_scanned += graph.degree(v);
+}
+
+/// `w_v(R)` where `R = T ∪ S_k`: membership is "in the pending queue, or
+/// still at an unconsumed suffix position". Consumed vertices carry stale
+/// positions strictly below `k_current`, so the position test excludes
+/// them (see DESIGN.md §4).
+fn recovered_weight(
+    graph: &DynamicGraph,
+    state: &PeelingState,
+    scratch: &ReorderScratch,
+    v: VertexId,
+    k_current: usize,
+    stats: &mut ReorderStats,
+) -> f64 {
+    let mut w = graph.vertex_weight(v);
+    for nb in graph.neighbors(v) {
+        let in_remaining =
+            scratch.queue.contains(nb.v) || state.position_of(nb.v) >= k_current;
+        if in_remaining {
+            w += nb.w;
+        }
+    }
+    stats.edges_scanned += graph.degree(v);
+    w
+}
+
+/// Runs the merge loop of one window: starts with a non-empty pending
+/// queue and the suffix cursor at `*k`, and drains the queue, emitting into
+/// `scratch.window`. On return the logical window `[start, *k)` has been
+/// written back to `state` and reported through `on_window`.
+///
+/// `forced_extent` (exclusive position) keeps the window open even after
+/// the queue drains — the deletion pass seeds a vertex straight out of the
+/// suffix (the deleted edge's later endpoint), so its old slot **must** be
+/// consumed and rewritten even if every queued vertex pops early.
+#[allow(clippy::too_many_arguments)] // internal runner; the arguments are the algorithm's state
+pub(crate) fn run_window(
+    graph: &DynamicGraph,
+    state: &mut PeelingState,
+    scratch: &mut ReorderScratch,
+    start: usize,
+    k: &mut usize,
+    forced_extent: usize,
+    stats: &mut ReorderStats,
+    on_window: &mut impl FnMut(usize, &[f64]),
+) {
+    let n = state.len();
+    loop {
+        let head = scratch.queue.peek();
+        if head.is_none() && *k >= forced_extent {
+            break;
+        }
+        if *k < n {
+            let key_k = state.key_at(*k);
+            let uk = key_k.vertex;
+            if scratch.is_lifted(uk) {
+                // The vertex at this slot was seeded directly from the
+                // suffix (deletion's later endpoint): its slot is consumed
+                // here, and the vertex itself emits from the queue (it may
+                // already have popped at an earlier window position).
+                *k += 1;
+                continue;
+            }
+            if head.is_some_and(|h| h < key_k) {
+                pop_and_emit(graph, scratch, stats);
+            } else if scratch.is_black(uk) || scratch.is_gray(uk) {
+                // Case 2(a): the stored weight may be stale — recover
+                // it and let the queue re-rank the vertex.
+                *k += 1;
+                seed(graph, state, scratch, uk, *k, stats);
+            } else {
+                // Case 2(b): white vertex — its stored weight is its
+                // true weight and it precedes everything queued.
+                scratch.window.push((uk, key_k.weight));
+                *k += 1;
+            }
+        } else if head.is_some() {
+            // Suffix exhausted: drain the queue.
+            pop_and_emit(graph, scratch, stats);
+        } else {
+            break;
+        }
+    }
+    debug_assert_eq!(scratch.window.len(), *k - start, "window length mismatch");
+    stats.windows += 1;
+    stats.moved += scratch.window.len();
+    let (lo, hi) = state.write_window(start, &scratch.window);
+    on_window(lo, &state.delta_phys()[lo..hi]);
+    scratch.window.clear();
+}
+
+/// Case 1: the queue head is the global minimum of `R` — emit it and
+/// lower the priorities of its queued neighbors.
+fn pop_and_emit(graph: &DynamicGraph, scratch: &mut ReorderScratch, stats: &mut ReorderStats) {
+    let PeelKey { weight, vertex } = scratch.queue.pop().expect("pop on empty queue");
+    scratch.window.push((vertex, weight));
+    for nb in graph.neighbors(vertex) {
+        if scratch.queue.contains(nb.v) {
+            scratch.queue.add_weight(nb.v, -nb.w);
+        }
+    }
+    stats.edges_scanned += graph.degree(vertex);
+}
+
+/// Convenience wrapper for a single edge insertion (§4.1): `ΔV` is just
+/// the endpoint with the smaller peeling position.
+pub fn reorder_single_edge(
+    graph: &DynamicGraph,
+    state: &mut PeelingState,
+    src: VertexId,
+    dst: VertexId,
+    scratch: &mut ReorderScratch,
+    blacks_buf: &mut Vec<VertexId>,
+    on_window: impl FnMut(usize, &[f64]),
+) -> ReorderStats {
+    let earlier = if state.position_of(src) < state.position_of(dst) { src } else { dst };
+    blacks_buf.clear();
+    blacks_buf.push(earlier);
+    reorder(graph, state, blacks_buf, scratch, on_window)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::peel::peel;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    /// Builds a graph, peels it, inserts `edges`, reorders incrementally,
+    /// and asserts bit-identical agreement with a from-scratch peel.
+    fn check_incremental(base: &DynamicGraph, edges: &[(u32, u32, f64)]) {
+        let mut graph = base.clone();
+        let mut state = PeelingState::from_outcome(&peel(&graph));
+        let mut scratch = ReorderScratch::new();
+        let mut blacks = Vec::new();
+        for &(a, b, w) in edges {
+            graph.insert_edge(v(a), v(b), w).unwrap();
+            let stats = reorder_single_edge(
+                &graph,
+                &mut state,
+                v(a),
+                v(b),
+                &mut scratch,
+                &mut blacks,
+                |_, _| {},
+            );
+            assert!(stats.windows <= 1);
+        }
+        let fresh = peel(&graph);
+        assert_eq!(state.logical_order(), fresh.order, "sequence diverged");
+        let stored = state.logical_weights();
+        for (i, (&got, &want)) in stored.iter().zip(fresh.weights.iter()).enumerate() {
+            assert!((got - want).abs() < 1e-9, "weight {i}: {got} vs {want}");
+        }
+        state.validate_greedy(&graph, 1e-9);
+    }
+
+    fn paper_example() -> DynamicGraph {
+        // Fig. 3/5 style graph: integer weights so equality is exact.
+        let mut g = DynamicGraph::new();
+        for _ in 0..5 {
+            g.add_vertex(0.0).unwrap();
+        }
+        g.insert_edge(v(0), v(1), 2.0).unwrap();
+        g.insert_edge(v(1), v(2), 1.0).unwrap();
+        g.insert_edge(v(1), v(4), 4.0).unwrap();
+        g.insert_edge(v(3), v(4), 2.0).unwrap();
+        g.insert_edge(v(0), v(3), 2.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn single_insertion_matches_from_scratch() {
+        // The paper's running example: insert (u1, u5) with weight 4.
+        check_incremental(&paper_example(), &[(0, 4, 4.0)]);
+    }
+
+    #[test]
+    fn insertion_onto_existing_edge_accumulates() {
+        check_incremental(&paper_example(), &[(0, 1, 3.0)]);
+    }
+
+    #[test]
+    fn repeated_insertions_stay_consistent() {
+        check_incremental(
+            &paper_example(),
+            &[(0, 4, 4.0), (2, 3, 1.0), (2, 3, 1.0), (0, 2, 5.0), (4, 0, 2.0)],
+        );
+    }
+
+    #[test]
+    fn insertion_at_sequence_tail() {
+        // Connect the two last-peeled (heaviest) vertices.
+        let g = paper_example();
+        let state = PeelingState::from_outcome(&peel(&g));
+        let a = state.vertex_at(3).0;
+        let b = state.vertex_at(4).0;
+        check_incremental(&g, &[(a, b, 7.0)]);
+    }
+
+    #[test]
+    fn insertion_at_sequence_head() {
+        let g = paper_example();
+        let state = PeelingState::from_outcome(&peel(&g));
+        let a = state.vertex_at(0).0;
+        let b = state.vertex_at(1).0;
+        check_incremental(&g, &[(a, b, 1.0)]);
+    }
+
+    #[test]
+    fn batch_reorder_matches_from_scratch() {
+        let mut graph = paper_example();
+        let mut state = PeelingState::from_outcome(&peel(&graph));
+        let mut scratch = ReorderScratch::new();
+        let edges = [(0u32, 4u32, 4.0f64), (2, 3, 2.0), (0, 2, 1.0)];
+        let mut blacks = Vec::new();
+        for &(a, b, w) in &edges {
+            graph.insert_edge(v(a), v(b), w).unwrap();
+        }
+        for &(a, b, _) in &edges {
+            let earlier = if state.position_of(v(a)) < state.position_of(v(b)) {
+                v(a)
+            } else {
+                v(b)
+            };
+            blacks.push(earlier);
+        }
+        reorder(&graph, &mut state, &mut blacks, &mut scratch, |_, _| {});
+        assert_eq!(state.logical_order(), peel(&graph).order);
+        state.validate_greedy(&graph, 1e-9);
+    }
+
+    #[test]
+    fn reorder_reports_windows_through_callback() {
+        let mut graph = paper_example();
+        let mut state = PeelingState::from_outcome(&peel(&graph));
+        let mut scratch = ReorderScratch::new();
+        graph.insert_edge(v(0), v(4), 4.0).unwrap();
+        let mut touched: Vec<(usize, usize)> = Vec::new();
+        let mut blacks = Vec::new();
+        reorder_single_edge(&graph, &mut state, v(0), v(4), &mut scratch, &mut blacks, |lo, ws| {
+            touched.push((lo, ws.len()));
+        });
+        assert_eq!(touched.len(), 1);
+        // The reported physical range must mirror the state's new weights.
+        let (lo, len) = touched[0];
+        assert!(len > 0);
+        assert!(lo + len <= state.len());
+    }
+
+    #[test]
+    fn noop_for_empty_blacks() {
+        let graph = paper_example();
+        let mut state = PeelingState::from_outcome(&peel(&graph));
+        let before = state.logical_order();
+        let mut scratch = ReorderScratch::new();
+        let mut blacks = Vec::new();
+        let stats = reorder(&graph, &mut state, &mut blacks, &mut scratch, |_, _| {
+            panic!("no window expected")
+        });
+        assert_eq!(stats, ReorderStats::default());
+        assert_eq!(state.logical_order(), before);
+    }
+
+    #[test]
+    fn randomized_insertions_match_from_scratch() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(42);
+        for trial in 0..40 {
+            let n = rng.gen_range(3..24usize);
+            let mut g = DynamicGraph::new();
+            for _ in 0..n {
+                g.add_vertex(rng.gen_range(0..3) as f64).unwrap();
+            }
+            // Random base graph with integer weights.
+            for _ in 0..rng.gen_range(0..3 * n) {
+                let a = rng.gen_range(0..n as u32);
+                let b = rng.gen_range(0..n as u32);
+                if a != b {
+                    let _ = g.insert_edge(v(a), v(b), rng.gen_range(1..8) as f64);
+                }
+            }
+            // Random insertions, applied one at a time.
+            let mut updates = Vec::new();
+            for _ in 0..rng.gen_range(1..12) {
+                let a = rng.gen_range(0..n as u32);
+                let b = rng.gen_range(0..n as u32);
+                if a != b {
+                    updates.push((a, b, rng.gen_range(1..8) as f64));
+                }
+            }
+            if updates.is_empty() {
+                continue;
+            }
+            let mut graph = g.clone();
+            let mut state = PeelingState::from_outcome(&peel(&graph));
+            let mut scratch = ReorderScratch::new();
+            let mut blacks = Vec::new();
+            for &(a, b, w) in &updates {
+                graph.insert_edge(v(a), v(b), w).unwrap();
+                reorder_single_edge(
+                    &graph, &mut state, v(a), v(b), &mut scratch, &mut blacks, |_, _| {},
+                );
+            }
+            let fresh = peel(&graph);
+            assert_eq!(
+                state.logical_order(),
+                fresh.order,
+                "trial {trial}: incremental and static peels diverged"
+            );
+            state.validate_greedy(&graph, 1e-9);
+        }
+    }
+
+    #[test]
+    fn randomized_batches_match_from_scratch() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1234);
+        for trial in 0..40 {
+            let n = rng.gen_range(4..20usize);
+            let mut graph = DynamicGraph::new();
+            for _ in 0..n {
+                graph.add_vertex(0.0).unwrap();
+            }
+            for _ in 0..rng.gen_range(1..2 * n) {
+                let a = rng.gen_range(0..n as u32);
+                let b = rng.gen_range(0..n as u32);
+                if a != b {
+                    let _ = graph.insert_edge(v(a), v(b), rng.gen_range(1..5) as f64);
+                }
+            }
+            let mut state = PeelingState::from_outcome(&peel(&graph));
+            let mut scratch = ReorderScratch::new();
+            // One batch of several edges.
+            let mut blacks = Vec::new();
+            for _ in 0..rng.gen_range(1..10) {
+                let a = rng.gen_range(0..n as u32);
+                let b = rng.gen_range(0..n as u32);
+                if a == b {
+                    continue;
+                }
+                if graph.insert_edge(v(a), v(b), rng.gen_range(1..5) as f64).is_ok() {
+                    let earlier = if state.position_of(v(a)) < state.position_of(v(b)) {
+                        v(a)
+                    } else {
+                        v(b)
+                    };
+                    blacks.push(earlier);
+                }
+            }
+            reorder(&graph, &mut state, &mut blacks, &mut scratch, |_, _| {});
+            assert_eq!(
+                state.logical_order(),
+                peel(&graph).order,
+                "trial {trial}: batch reorder diverged"
+            );
+            state.validate_greedy(&graph, 1e-9);
+        }
+    }
+}

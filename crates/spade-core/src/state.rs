@@ -1,0 +1,391 @@
+//! The live peeling state maintained between updates.
+//!
+//! Spade stores the peeling sequence `_seq` and the peeling weights
+//! `_weight` (Listing 1). Two storage subtleties matter for real-time
+//! updates:
+//!
+//! * **Head insertions are O(1).** New vertices enter at the *head* of the
+//!   peeling sequence (§4.1). We key physical storage by *rank* — the size
+//!   of the suffix a vertex belongs to, i.e. `rank = n - logical_position`.
+//!   Ranks of existing vertices are invariant under head insertion (both
+//!   `n` and the position shift by one), so a head insertion is a plain
+//!   `push` and no stored index ever needs fixing.
+//! * **Suffix prefix-sums are detection-ready.** `f(S_k)` for the suffix of
+//!   size `r = n - k` is exactly the prefix sum of the first `r` physical
+//!   weights, so the density `g(S_k) = f(S_k)/|S_k|` over every candidate
+//!   community is `prefix_sum(r) / r` — the quantity the
+//!   [`crate::kinetic`] index maintains.
+//!
+//! Logical accessors (`vertex_at`, `delta_at`, `position_of`) hide the
+//! reversed layout from the reordering algorithms.
+
+use crate::order::{MinQueue, PeelKey};
+use crate::peel::PeelingOutcome;
+use spade_graph::{DynamicGraph, VertexId};
+
+/// A detected fraudulent community: the densest suffix of the peeling
+/// sequence.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Detection {
+    /// Number of vertices in the community (`|S_P|`).
+    pub size: usize,
+    /// Its density `g(S_P)`.
+    pub density: f64,
+}
+
+impl Detection {
+    /// Detection over an empty graph.
+    pub const EMPTY: Detection = Detection { size: 0, density: 0.0 };
+}
+
+/// The peeling sequence, peeling weights, and the vertex→rank map.
+#[derive(Clone, Debug, Default)]
+pub struct PeelingState {
+    /// `seq_phys[r - 1]` = the vertex of rank `r` (rank 1 = peeled last =
+    /// densest end).
+    seq_phys: Vec<VertexId>,
+    /// Peeling weight parallel to `seq_phys`.
+    delta_phys: Vec<f64>,
+    /// 1-based rank per vertex; 0 = vertex not present in the state.
+    rank: Vec<u32>,
+}
+
+impl PeelingState {
+    /// Empty state (no vertices peeled yet).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds the state from a completed static peel.
+    pub fn from_outcome(outcome: &PeelingOutcome) -> Self {
+        let n = outcome.order.len();
+        let mut seq_phys = Vec::with_capacity(n);
+        let mut delta_phys = Vec::with_capacity(n);
+        for i in (0..n).rev() {
+            seq_phys.push(outcome.order[i]);
+            delta_phys.push(outcome.weights[i]);
+        }
+        let mut rank = Vec::new();
+        for (phys, &u) in seq_phys.iter().enumerate() {
+            if u.index() >= rank.len() {
+                rank.resize(u.index() + 1, 0);
+            }
+            rank[u.index()] = (phys + 1) as u32;
+        }
+        PeelingState { seq_phys, delta_phys, rank }
+    }
+
+    /// Number of vertices in the sequence.
+    #[inline(always)]
+    pub fn len(&self) -> usize {
+        self.seq_phys.len()
+    }
+
+    /// `true` when no vertices are tracked.
+    #[inline(always)]
+    pub fn is_empty(&self) -> bool {
+        self.seq_phys.is_empty()
+    }
+
+    /// `true` if `u` is tracked by the state.
+    #[inline(always)]
+    pub fn contains(&self, u: VertexId) -> bool {
+        u.index() < self.rank.len() && self.rank[u.index()] != 0
+    }
+
+    /// The logical peeling position of `u` (0 = peeled first).
+    #[inline(always)]
+    pub fn position_of(&self, u: VertexId) -> usize {
+        debug_assert!(self.contains(u), "position_of on untracked vertex {u}");
+        self.seq_phys.len() - self.rank[u.index()] as usize
+    }
+
+    /// The vertex at logical position `i`.
+    #[inline(always)]
+    pub fn vertex_at(&self, i: usize) -> VertexId {
+        self.seq_phys[self.seq_phys.len() - 1 - i]
+    }
+
+    /// The recorded peeling weight at logical position `i`.
+    #[inline(always)]
+    pub fn delta_at(&self, i: usize) -> f64 {
+        self.delta_phys[self.delta_phys.len() - 1 - i]
+    }
+
+    /// The `(weight, id)` peeling key at logical position `i`.
+    #[inline(always)]
+    pub fn key_at(&self, i: usize) -> PeelKey {
+        let phys = self.seq_phys.len() - 1 - i;
+        PeelKey::new(self.delta_phys[phys], self.seq_phys[phys])
+    }
+
+    /// Physical (rank-space) view of the peeling weights: index `r - 1`
+    /// holds the weight of the rank-`r` vertex. Prefix sums of this slice
+    /// are the suffix suspiciousness values `f(S_{n-r})`.
+    #[inline(always)]
+    pub fn delta_phys(&self) -> &[f64] {
+        &self.delta_phys
+    }
+
+    /// Physical (rank-space) view of the sequence.
+    #[inline(always)]
+    pub fn seq_phys(&self) -> &[VertexId] {
+        &self.seq_phys
+    }
+
+    /// Inserts a new vertex at the head of the sequence (§4.1) with its
+    /// current true peeling weight (`a_u` for an isolated newcomer). O(1).
+    pub fn push_front(&mut self, u: VertexId, delta: f64) {
+        assert!(!self.contains(u), "vertex {u} already tracked");
+        if u.index() >= self.rank.len() {
+            self.rank.resize(u.index() + 1, 0);
+        }
+        self.seq_phys.push(u);
+        self.delta_phys.push(delta);
+        self.rank[u.index()] = self.seq_phys.len() as u32;
+    }
+
+    /// Overwrites the logical window `[start, start + entries.len())` with
+    /// `entries` (in logical order) and refreshes the rank map.
+    ///
+    /// Returns the physical range `[lo, hi)` that changed, for feeding the
+    /// density index.
+    pub fn write_window(&mut self, start: usize, entries: &[(VertexId, f64)]) -> (usize, usize) {
+        let n = self.seq_phys.len();
+        let end = start + entries.len();
+        debug_assert!(end <= n, "window exceeds sequence");
+        for (j, &(u, w)) in entries.iter().enumerate() {
+            let logical = start + j;
+            let phys = n - 1 - logical;
+            self.seq_phys[phys] = u;
+            self.delta_phys[phys] = w;
+            self.rank[u.index()] = (phys + 1) as u32;
+        }
+        (n - end, n - start)
+    }
+
+    /// Exact detection by scanning every suffix size: returns the maximum
+    /// of `prefix_sum(r)/r`, preferring the **larger** community on density
+    /// ties (matching the static peel, which keeps the first maximum seen
+    /// while removing vertices). A graph with no suspiciousness at all
+    /// (every candidate density zero) reports [`Detection::EMPTY`] — there
+    /// is no community worth a moderator's attention.
+    pub fn scan_detect(&self) -> Detection {
+        let mut best = Detection::EMPTY;
+        let mut sum = 0.0;
+        for (i, &d) in self.delta_phys.iter().enumerate() {
+            sum += d;
+            let density = sum / (i + 1) as f64;
+            if density > 0.0 && density >= best.density {
+                best = Detection { size: i + 1, density };
+            }
+        }
+        best
+    }
+
+    /// The community of the given size: the `size` highest-rank vertices
+    /// (a physical prefix — O(1) slice).
+    pub fn community(&self, size: usize) -> &[VertexId] {
+        &self.seq_phys[..size]
+    }
+
+    /// The peeling sequence in logical order (peeled-first first). O(n);
+    /// intended for tests and reporting.
+    pub fn logical_order(&self) -> Vec<VertexId> {
+        self.seq_phys.iter().rev().copied().collect()
+    }
+
+    /// The peeling weights in logical order. O(n); for tests/reporting.
+    pub fn logical_weights(&self) -> Vec<f64> {
+        self.delta_phys.iter().rev().copied().collect()
+    }
+
+    /// Verifies that this state is a valid greedy peel of `graph`: at
+    /// every step the stored vertex's live weight must match the stored
+    /// weight within `tol` and must be within `tol` of the global minimum
+    /// over the remaining set. O(|E| log |V|). Panics on violation;
+    /// intended for tests.
+    ///
+    /// The tolerance exists for metrics with irrational weights (FD's
+    /// `1/ln`), where incremental and from-scratch float summation orders
+    /// legitimately differ in the last bits; integer-weight tests combine
+    /// this check with exact sequence comparison against a fresh peel.
+    pub fn validate_greedy(&self, graph: &DynamicGraph, tol: f64) {
+        assert_eq!(self.len(), graph.num_vertices(), "state covers a different vertex set");
+        let mut queue = MinQueue::new();
+        queue.reset(graph.num_vertices());
+        for u in graph.vertices() {
+            queue.insert(u, graph.incident_weight(u));
+        }
+        for i in 0..self.len() {
+            let u = self.vertex_at(i);
+            assert!(queue.contains(u), "position {i}: {u} appears twice in the sequence");
+            let live = queue.weight_of(u);
+            assert!(
+                (live - self.delta_at(i)).abs() <= tol,
+                "position {i} ({u}): stored weight {}, live weight {live}",
+                self.delta_at(i),
+            );
+            let min = queue.peek().expect("queue exhausted early").weight;
+            assert!(
+                live <= min + tol,
+                "position {i}: {u} (weight {live}) is not the minimum (min {min})"
+            );
+            queue.remove(u);
+            for nb in graph.neighbors(u) {
+                if queue.contains(nb.v) {
+                    queue.add_weight(nb.v, -nb.w);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::peel::peel;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    fn sample_graph() -> DynamicGraph {
+        let mut g = DynamicGraph::new();
+        for _ in 0..5 {
+            g.add_vertex(0.0).unwrap();
+        }
+        g.insert_edge(v(0), v(1), 2.0).unwrap();
+        g.insert_edge(v(1), v(2), 1.0).unwrap();
+        g.insert_edge(v(1), v(4), 4.0).unwrap();
+        g.insert_edge(v(3), v(4), 2.0).unwrap();
+        g.insert_edge(v(0), v(3), 2.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn from_outcome_roundtrips_logical_order() {
+        let g = sample_graph();
+        let out = peel(&g);
+        let st = PeelingState::from_outcome(&out);
+        assert_eq!(st.len(), 5);
+        assert_eq!(st.logical_order(), out.order);
+        assert_eq!(st.logical_weights(), out.weights);
+        for (i, &u) in out.order.iter().enumerate() {
+            assert_eq!(st.position_of(u), i);
+            assert_eq!(st.vertex_at(i), u);
+            assert_eq!(st.delta_at(i), out.weights[i]);
+        }
+    }
+
+    #[test]
+    fn scan_detect_matches_static_peel() {
+        let g = sample_graph();
+        let out = peel(&g);
+        let st = PeelingState::from_outcome(&out);
+        let det = st.scan_detect();
+        assert_eq!(det.size, out.order.len() - out.best_prefix);
+        assert!((det.density - out.best_density).abs() < 1e-9);
+        // Community contents agree as sets.
+        let mut a: Vec<u32> = st.community(det.size).iter().map(|u| u.0).collect();
+        let mut b: Vec<u32> = out.community().iter().map(|u| u.0).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn push_front_keeps_ranks_stable() {
+        let g = sample_graph();
+        let st0 = PeelingState::from_outcome(&peel(&g));
+        let mut st = st0.clone();
+        let newcomer = v(5);
+        st.push_front(newcomer, 0.0);
+        assert_eq!(st.len(), 6);
+        assert_eq!(st.position_of(newcomer), 0);
+        assert_eq!(st.vertex_at(0), newcomer);
+        assert_eq!(st.delta_at(0), 0.0);
+        // Every pre-existing vertex shifted one logical slot but kept rank.
+        for i in 0..st0.len() {
+            assert_eq!(st.vertex_at(i + 1), st0.vertex_at(i));
+            assert_eq!(st.delta_at(i + 1), st0.delta_at(i));
+        }
+    }
+
+    #[test]
+    fn write_window_updates_ranks_and_reports_phys_range() {
+        let g = sample_graph();
+        let mut st = PeelingState::from_outcome(&peel(&g));
+        let before = st.logical_order();
+        // Swap logical positions 1 and 2 with synthetic weights.
+        let entries = [(before[2], 9.0), (before[1], 11.0)];
+        let (lo, hi) = st.write_window(1, &entries);
+        assert_eq!((lo, hi), (st.len() - 3, st.len() - 1));
+        assert_eq!(st.vertex_at(1), before[2]);
+        assert_eq!(st.vertex_at(2), before[1]);
+        assert_eq!(st.delta_at(1), 9.0);
+        assert_eq!(st.delta_at(2), 11.0);
+        assert_eq!(st.position_of(before[2]), 1);
+        assert_eq!(st.position_of(before[1]), 2);
+        // Untouched positions survive.
+        assert_eq!(st.vertex_at(0), before[0]);
+        assert_eq!(st.vertex_at(3), before[3]);
+    }
+
+    #[test]
+    fn validate_greedy_accepts_static_peel() {
+        let g = sample_graph();
+        let st = PeelingState::from_outcome(&peel(&g));
+        st.validate_greedy(&g, 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "is not the minimum")]
+    fn validate_greedy_rejects_non_minimal_first_pick() {
+        let g = sample_graph();
+        let mut st = PeelingState::from_outcome(&peel(&g));
+        // Put the heaviest vertex first with its (correct) live weight:
+        // the stored-weight check passes but the minimality check must
+        // fire.
+        let heavy = g
+            .vertices()
+            .max_by(|&a, &b| g.incident_weight(a).total_cmp(&g.incident_weight(b)))
+            .unwrap();
+        st.write_window(0, &[(heavy, g.incident_weight(heavy))]);
+        st.validate_greedy(&g, 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "stored weight")]
+    fn validate_greedy_rejects_wrong_stored_weight() {
+        let g = sample_graph();
+        let mut st = PeelingState::from_outcome(&peel(&g));
+        let u = st.vertex_at(0);
+        st.write_window(0, &[(u, st.delta_at(0) + 1.0)]);
+        st.validate_greedy(&g, 1e-9);
+    }
+
+    #[test]
+    fn empty_state_detects_nothing() {
+        let st = PeelingState::new();
+        assert_eq!(st.scan_detect(), Detection::EMPTY);
+        assert!(st.is_empty());
+    }
+
+    #[test]
+    fn detection_prefers_larger_community_on_ties() {
+        // Two disjoint unit-weight pairs: every suffix of size 2 and 4 has
+        // density 0.5; the scan must keep the larger (size 4... sizes with
+        // equal density: r=2 -> 1/2, r=4 -> 2/4). Prefer 4.
+        let mut g = DynamicGraph::new();
+        for _ in 0..4 {
+            g.add_vertex(0.0).unwrap();
+        }
+        g.insert_edge(v(0), v(1), 1.0).unwrap();
+        g.insert_edge(v(2), v(3), 1.0).unwrap();
+        let st = PeelingState::from_outcome(&peel(&g));
+        let det = st.scan_detect();
+        assert_eq!(det.size, 4);
+        assert!((det.density - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,321 @@
+//! Fraud detection during a time period (Appendix C.3).
+//!
+//! Given the peeling state for the graph generated during `[τs, τe]` and a
+//! query window `[τs', τe']`, the detector reuses the state instead of
+//! peeling the new window's graph from scratch. The paper's five cases
+//! reduce to set algebra over the timestamp-sorted transaction log:
+//!
+//! * records in the new window but not the old one are **inserted**
+//!   (Algorithm 2);
+//! * records in the old window but not the new one are **deleted**
+//!   (Appendix C.1, at transaction granularity);
+//! * disjoint windows (Case 1) rebuild via one static peel, which is
+//!   cheaper than deleting everything.
+//!
+//! Records carry pre-evaluated suspiciousness (`c`), since replaying
+//! arrival-time-dependent metrics (FD's degree term) under out-of-order
+//! window moves is not well-defined — see DESIGN.md §4.
+
+use crate::engine::{SpadeConfig, SpadeEngine};
+use crate::metric::WeightedDensity;
+use crate::state::Detection;
+use spade_graph::{GraphError, VertexId};
+
+/// A transaction with pre-evaluated suspiciousness.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct WindowRecord {
+    /// Paying side.
+    pub src: VertexId,
+    /// Receiving side.
+    pub dst: VertexId,
+    /// Suspiciousness weight `c > 0`.
+    pub c: f64,
+    /// Generation timestamp.
+    pub ts: u64,
+}
+
+/// Which Appendix C.3 case a window move exercised.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WindowMove {
+    /// Case 1: disjoint — rebuilt from scratch.
+    Rebuild,
+    /// Cases 2–5: expressed as `inserted` + `deleted` record counts.
+    Incremental {
+        /// Records inserted (new window minus old).
+        inserted: usize,
+        /// Records deleted (old window minus new).
+        deleted: usize,
+    },
+}
+
+/// Sliding/jumping time-window detector over a transaction log.
+#[derive(Debug)]
+pub struct TimeWindowDetector {
+    /// Timestamp-sorted transaction log.
+    records: Vec<WindowRecord>,
+    engine: SpadeEngine<WeightedDensity>,
+    /// Current half-open record range `[lo, hi)` loaded into the engine.
+    lo: usize,
+    hi: usize,
+}
+
+impl TimeWindowDetector {
+    /// Builds a detector over `records` (sorted internally by timestamp;
+    /// ties keep input order). Starts with an empty window.
+    pub fn new(mut records: Vec<WindowRecord>) -> Self {
+        records.sort_by_key(|r| r.ts);
+        TimeWindowDetector {
+            records,
+            engine: SpadeEngine::new(WeightedDensity),
+            lo: 0,
+            hi: 0,
+        }
+    }
+
+    /// Number of records in the log.
+    pub fn num_records(&self) -> usize {
+        self.records.len()
+    }
+
+    /// The engine holding the current window's graph.
+    pub fn engine(&self) -> &SpadeEngine<WeightedDensity> {
+        &self.engine
+    }
+
+    /// Moves the window to `[ts, te)` (half-open in timestamps) and
+    /// returns the detection plus which maintenance path ran.
+    pub fn detect_window(&mut self, ts: u64, te: u64) -> Result<(Detection, WindowMove), GraphError> {
+        let new_lo = self.records.partition_point(|r| r.ts < ts);
+        let new_hi = self.records.partition_point(|r| r.ts < te);
+        let (new_lo, new_hi) = (new_lo, new_hi.max(new_lo));
+
+        let disjoint = new_lo >= self.hi || new_hi <= self.lo || self.lo == self.hi;
+        let mv = if disjoint {
+            self.rebuild(new_lo, new_hi)?;
+            WindowMove::Rebuild
+        } else {
+            let mut inserted = 0usize;
+            let mut deleted = 0usize;
+            // Head: extend (Case 2/4 insert E[s', s]) or shrink
+            // (Case 3/5 delete E[s, s']).
+            if new_lo < self.lo {
+                inserted += self.insert_range(new_lo, self.lo)?;
+            } else if new_lo > self.lo {
+                deleted += self.delete_range(self.lo, new_lo)?;
+            }
+            // Tail: extend (Case 2/5 insert E[e, e']) or shrink
+            // (Case 3/4 delete E[e', e]).
+            if new_hi > self.hi {
+                inserted += self.insert_range(self.hi, new_hi)?;
+            } else if new_hi < self.hi {
+                deleted += self.delete_range(new_hi, self.hi)?;
+            }
+            WindowMove::Incremental { inserted, deleted }
+        };
+        self.lo = new_lo;
+        self.hi = new_hi;
+        Ok((self.engine.detect(), mv))
+    }
+
+    fn rebuild(&mut self, lo: usize, hi: usize) -> Result<(), GraphError> {
+        self.engine = SpadeEngine::bootstrap(
+            WeightedDensity,
+            SpadeConfig::default(),
+            self.records[lo..hi].iter().map(|r| (r.src, r.dst, r.c)),
+        )?;
+        Ok(())
+    }
+
+    fn insert_range(&mut self, lo: usize, hi: usize) -> Result<usize, GraphError> {
+        let batch: Vec<(VertexId, VertexId, f64)> =
+            self.records[lo..hi].iter().map(|r| (r.src, r.dst, r.c)).collect();
+        if !batch.is_empty() {
+            self.engine.insert_batch_weighted(&batch)?;
+        }
+        Ok(batch.len())
+    }
+
+    fn delete_range(&mut self, lo: usize, hi: usize) -> Result<usize, GraphError> {
+        for i in lo..hi {
+            let r = self.records[i];
+            self.engine.delete_transaction(r.src, r.dst, r.c)?;
+        }
+        Ok(hi - lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::peel::peel;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    fn log() -> Vec<WindowRecord> {
+        // 20 transactions across 20 time units, with a dense burst in the
+        // middle (ts 8..12 among vertices 10..13).
+        let mut recs = Vec::new();
+        for t in 0..8u64 {
+            recs.push(WindowRecord {
+                src: v(t as u32 % 5),
+                dst: v((t as u32 + 1) % 5),
+                c: 1.0 + t as f64,
+                ts: t,
+            });
+        }
+        let mut t = 8;
+        for a in 10..13u32 {
+            for b in 10..13u32 {
+                if a != b {
+                    recs.push(WindowRecord { src: v(a), dst: v(b), c: 8.0, ts: t });
+                    t += 1;
+                }
+            }
+        }
+        for t in 14..20u64 {
+            recs.push(WindowRecord {
+                src: v(t as u32 % 7),
+                dst: v((t as u32 + 2) % 7),
+                c: 2.0,
+                ts: t,
+            });
+        }
+        recs
+    }
+
+    /// Oracle: bootstrap the window from scratch and compare.
+    fn assert_matches_fresh(det: &TimeWindowDetector, ts: u64, te: u64, got: Detection) {
+        let recs: Vec<_> =
+            det.records.iter().filter(|r| r.ts >= ts && r.ts < te).collect();
+        let fresh = SpadeEngine::bootstrap(
+            WeightedDensity,
+            SpadeConfig::default(),
+            recs.iter().map(|r| (r.src, r.dst, r.c)),
+        )
+        .unwrap();
+        let want = peel(fresh.graph());
+        assert!(
+            (got.density - want.best_density).abs() < 1e-9,
+            "window [{ts},{te}): density {} vs fresh {}",
+            got.density,
+            want.best_density
+        );
+        // The maintained state must be a full greedy order of the window
+        // graph (sequence equality demands equal vertex universes, which
+        // incremental windows keep as supersets — so compare density and
+        // validate greedy instead).
+        det.engine.state().validate_greedy(det.engine.graph(), 1e-9);
+    }
+
+    #[test]
+    fn case1_disjoint_rebuild() {
+        let mut d = TimeWindowDetector::new(log());
+        let (det1, mv1) = d.detect_window(0, 5).unwrap();
+        assert_eq!(mv1, WindowMove::Rebuild);
+        assert_matches_fresh(&d, 0, 5, det1);
+        let (det2, mv2) = d.detect_window(8, 14).unwrap();
+        assert_eq!(mv2, WindowMove::Rebuild);
+        assert_matches_fresh(&d, 8, 14, det2);
+        assert!(det2.density > det1.density, "dense burst must dominate");
+    }
+
+    #[test]
+    fn case2_containing_window_inserts_both_sides() {
+        let mut d = TimeWindowDetector::new(log());
+        d.detect_window(8, 14).unwrap();
+        let (det, mv) = d.detect_window(4, 18).unwrap();
+        match mv {
+            WindowMove::Incremental { inserted, deleted } => {
+                assert!(inserted > 0);
+                assert_eq!(deleted, 0);
+            }
+            other => panic!("expected incremental, got {other:?}"),
+        }
+        assert_matches_fresh(&d, 4, 18, det);
+    }
+
+    #[test]
+    fn case3_contained_window_deletes_both_sides() {
+        let mut d = TimeWindowDetector::new(log());
+        d.detect_window(4, 18).unwrap();
+        let (det, mv) = d.detect_window(8, 14).unwrap();
+        match mv {
+            WindowMove::Incremental { inserted, deleted } => {
+                assert_eq!(inserted, 0);
+                assert!(deleted > 0);
+            }
+            other => panic!("expected incremental, got {other:?}"),
+        }
+        assert_matches_fresh(&d, 8, 14, det);
+    }
+
+    #[test]
+    fn case4_and_5_sliding_windows() {
+        let mut d = TimeWindowDetector::new(log());
+        d.detect_window(5, 12).unwrap();
+        // Slide forward (Case 5: delete head, insert tail).
+        let (det, mv) = d.detect_window(9, 16).unwrap();
+        match mv {
+            WindowMove::Incremental { inserted, deleted } => {
+                assert!(inserted > 0 && deleted > 0);
+            }
+            other => panic!("expected incremental, got {other:?}"),
+        }
+        assert_matches_fresh(&d, 9, 16, det);
+        // Slide backward (Case 4: insert head, delete tail).
+        let (det, mv) = d.detect_window(6, 12).unwrap();
+        assert!(matches!(mv, WindowMove::Incremental { .. }));
+        assert_matches_fresh(&d, 6, 12, det);
+    }
+
+    #[test]
+    fn randomized_window_moves_match_fresh_bootstrap() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5150);
+        let mut d = TimeWindowDetector::new(log());
+        for _ in 0..25 {
+            let a = rng.gen_range(0..20u64);
+            let b = rng.gen_range(a..=20u64);
+            let (det, _) = d.detect_window(a, b).unwrap();
+            assert_matches_fresh(&d, a, b, det);
+        }
+    }
+
+    #[test]
+    fn empty_window_is_harmless() {
+        let mut d = TimeWindowDetector::new(log());
+        let (det, _) = d.detect_window(100, 200).unwrap();
+        assert_eq!(det.size, 0);
+    }
+
+    #[test]
+    fn repeating_the_same_window_is_a_noop_move() {
+        let mut d = TimeWindowDetector::new(log());
+        let (det1, _) = d.detect_window(5, 15).unwrap();
+        let (det2, mv) = d.detect_window(5, 15).unwrap();
+        assert_eq!(mv, WindowMove::Incremental { inserted: 0, deleted: 0 });
+        assert_eq!(det1.size, det2.size);
+        assert!((det1.density - det2.density).abs() < 1e-12);
+    }
+
+    #[test]
+    fn window_covering_everything_equals_full_bootstrap() {
+        let mut d = TimeWindowDetector::new(log());
+        d.detect_window(8, 12).unwrap();
+        let (det, _) = d.detect_window(0, u64::MAX).unwrap();
+        assert_matches_fresh(&d, 0, u64::MAX, det);
+        assert_eq!(d.num_records(), 20);
+    }
+
+    #[test]
+    fn shrink_to_empty_then_regrow() {
+        let mut d = TimeWindowDetector::new(log());
+        d.detect_window(0, 20).unwrap();
+        let (det, _) = d.detect_window(9, 9).unwrap();
+        assert_eq!(det.size, 0);
+        let (det, _) = d.detect_window(8, 14).unwrap();
+        assert_matches_fresh(&d, 8, 14, det);
+    }
+}

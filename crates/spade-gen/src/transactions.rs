@@ -1,0 +1,206 @@
+//! Grab-like transaction stream generator.
+//!
+//! Models the paper's industrial workloads: a bipartite marketplace where
+//! customers pay merchants. Merchant popularity and customer activity are
+//! Zipf-distributed (heavy-tailed, Fig. 9b), transaction amounts are
+//! log-normal-ish, and timestamps advance with uniform-random
+//! inter-arrival times so replay order equals timestamp order (the paper
+//! replays edges "in the increasing order of their timestamp").
+//!
+//! Vertex-id layout: customers take ids `[0, customers)`, merchants
+//! `[customers, customers + merchants)`. Fraud injection allocates fresh
+//! ids beyond that range.
+
+use crate::powerlaw::ZipfSampler;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use spade_core::stream::StreamEdge;
+use spade_graph::VertexId;
+
+/// Configuration of a synthetic transaction stream.
+#[derive(Clone, Debug)]
+pub struct TransactionStreamConfig {
+    /// Number of customer vertices.
+    pub customers: usize,
+    /// Number of merchant vertices.
+    pub merchants: usize,
+    /// Number of transactions to generate.
+    pub transactions: usize,
+    /// Zipf exponent of customer activity.
+    pub customer_exponent: f64,
+    /// Zipf exponent of merchant popularity.
+    pub merchant_exponent: f64,
+    /// Mean transaction amount (raw attribute fed to `ESusp`).
+    pub mean_amount: f64,
+    /// Total simulated duration in stream time units (microseconds).
+    pub duration: u64,
+    /// RNG seed — every run with the same config is identical.
+    pub seed: u64,
+}
+
+impl Default for TransactionStreamConfig {
+    fn default() -> Self {
+        TransactionStreamConfig {
+            customers: 6_000,
+            merchants: 2_000,
+            transactions: 40_000,
+            // Rank exponents ~0.75/0.85 correspond to degree-distribution
+            // exponents alpha ~2.2-2.3 — the regime of real marketplaces.
+            // Exponents above 1 would hand the single top account an
+            // implausible double-digit share of all transactions.
+            customer_exponent: 0.75,
+            merchant_exponent: 0.85,
+            mean_amount: 20.0,
+            duration: 40_000_000,
+            seed: 0xC0FFEE,
+        }
+    }
+}
+
+/// A generated stream plus its id-space bookkeeping.
+#[derive(Clone, Debug)]
+pub struct TransactionStream {
+    /// The transactions, sorted by timestamp.
+    pub edges: Vec<StreamEdge>,
+    /// Customers occupy `[0, customers)`.
+    pub customers: usize,
+    /// Merchants occupy `[customers, customers + merchants)`.
+    pub merchants: usize,
+    /// First id free for fraud-account allocation.
+    pub next_free_id: u32,
+}
+
+impl TransactionStream {
+    /// Generates a stream from `config`.
+    pub fn generate(config: &TransactionStreamConfig) -> Self {
+        assert!(config.customers > 0 && config.merchants > 0);
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+        let customer_z = ZipfSampler::new(config.customers, config.customer_exponent);
+        let merchant_z = ZipfSampler::new(config.merchants, config.merchant_exponent);
+        let mut edges = Vec::with_capacity(config.transactions);
+        let step = (config.duration / config.transactions.max(1) as u64).max(1);
+        let mut now = 0u64;
+        for _ in 0..config.transactions {
+            now += rng.gen_range(1..=2 * step);
+            let c = customer_z.sample(&mut rng) as u32;
+            let m = (config.customers + merchant_z.sample(&mut rng)) as u32;
+            // Log-normal-ish amounts: exp of a centered uniform mixture is
+            // a cheap heavy-tail that avoids pathological outliers.
+            let amount = config.mean_amount * (rng.gen::<f64>() + rng.gen::<f64>() + 0.1);
+            edges.push(StreamEdge::organic(VertexId(c), VertexId(m), amount, now));
+        }
+        TransactionStream {
+            edges,
+            customers: config.customers,
+            merchants: config.merchants,
+            next_free_id: (config.customers + config.merchants) as u32,
+        }
+    }
+
+    /// Splits the stream into the paper's protocol: the first
+    /// `initial_fraction` of transactions build the initial graph, the
+    /// rest replay as increments.
+    pub fn split(&self, initial_fraction: f64) -> (&[StreamEdge], &[StreamEdge]) {
+        let cut = ((self.edges.len() as f64) * initial_fraction).round() as usize;
+        let cut = cut.min(self.edges.len());
+        (&self.edges[..cut], &self.edges[cut..])
+    }
+
+    /// Total number of distinct vertex ids referenced (upper bound used
+    /// for preallocation).
+    pub fn id_space(&self) -> usize {
+        self.next_free_id as usize
+    }
+}
+
+/// Chunks increments into fixed-size batches, preserving timestamp order —
+/// the `|ΔE| = x` replay mode of Table 4.
+pub fn batches(increments: &[StreamEdge], batch_size: usize) -> impl Iterator<Item = &[StreamEdge]> {
+    assert!(batch_size > 0, "batch size must be positive");
+    increments.chunks(batch_size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spade_graph::stats::DegreeDistribution;
+    use spade_graph::DynamicGraph;
+
+    fn small_config() -> TransactionStreamConfig {
+        TransactionStreamConfig {
+            customers: 400,
+            merchants: 100,
+            transactions: 4_000,
+            seed: 7,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn generates_requested_count_sorted_by_time() {
+        let s = TransactionStream::generate(&small_config());
+        assert_eq!(s.edges.len(), 4_000);
+        assert!(s.edges.windows(2).all(|w| w[0].timestamp <= w[1].timestamp));
+    }
+
+    #[test]
+    fn endpoints_respect_bipartite_layout() {
+        let s = TransactionStream::generate(&small_config());
+        for e in &s.edges {
+            assert!((e.src.0 as usize) < s.customers, "src must be a customer");
+            let m = e.dst.0 as usize;
+            assert!(m >= s.customers && m < s.customers + s.merchants, "dst must be a merchant");
+            assert!(e.raw > 0.0);
+            assert!(e.label.is_none());
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = TransactionStream::generate(&small_config());
+        let b = TransactionStream::generate(&small_config());
+        assert_eq!(a.edges, b.edges);
+        let mut other = small_config();
+        other.seed = 8;
+        let c = TransactionStream::generate(&other);
+        assert_ne!(a.edges, c.edges);
+    }
+
+    #[test]
+    fn split_respects_fraction() {
+        let s = TransactionStream::generate(&small_config());
+        let (init, inc) = s.split(0.9);
+        assert_eq!(init.len(), 3600);
+        assert_eq!(inc.len(), 400);
+    }
+
+    #[test]
+    fn batches_cover_all_increments() {
+        let s = TransactionStream::generate(&small_config());
+        let (_, inc) = s.split(0.9);
+        let total: usize = batches(inc, 64).map(<[StreamEdge]>::len).sum();
+        assert_eq!(total, inc.len());
+    }
+
+    #[test]
+    fn degree_distribution_is_heavy_tailed() {
+        let s = TransactionStream::generate(&TransactionStreamConfig {
+            customers: 2_000,
+            merchants: 600,
+            transactions: 30_000,
+            seed: 11,
+            ..Default::default()
+        });
+        let mut g = DynamicGraph::new();
+        g.ensure_vertex(VertexId((s.id_space() - 1) as u32));
+        for e in &s.edges {
+            let _ = g.insert_edge(e.src, e.dst, 1.0);
+        }
+        let dist = DegreeDistribution::of(&g);
+        let alpha = dist.power_law_exponent().expect("fit must exist");
+        assert!(alpha > 0.4, "expected heavy tail, alpha = {alpha}");
+        // The busiest merchant must dwarf the median merchant.
+        let max_d = dist.max_degree();
+        assert!(max_d > 30, "max degree {max_d} too small for a heavy tail");
+    }
+}

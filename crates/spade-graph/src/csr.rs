@@ -1,0 +1,162 @@
+//! Immutable compressed-sparse-row snapshot.
+//!
+//! The static baselines (DG/DW/FD run from scratch on every update, as in
+//! the paper's Figure 10 comparison) traverse every edge of the graph once
+//! per peeling run. A CSR layout keeps each vertex's incident edges in one
+//! contiguous slab, which is markedly faster than chasing per-vertex `Vec`s
+//! and gives the *baseline* its best possible showing — the speedups we
+//! report for the incremental algorithms are therefore conservative.
+//!
+//! The snapshot stores the **undirected view** of incidence: for every
+//! vertex, all incident edges (out and in) with their weights, which is the
+//! multiset the peeling weight (Eq. 2) sums over.
+
+use crate::graph::DynamicGraph;
+use crate::id::VertexId;
+
+/// A frozen CSR incidence snapshot of a [`DynamicGraph`].
+#[derive(Clone, Debug)]
+pub struct CsrGraph {
+    /// `offsets[u] .. offsets[u + 1]` delimits `u`'s incidence slab.
+    offsets: Vec<u32>,
+    /// Concatenated incident neighbors.
+    neighbors: Vec<VertexId>,
+    /// Edge weight parallel to `neighbors`.
+    weights: Vec<f64>,
+    /// Per-vertex suspiciousness `a_u`.
+    vertex_weights: Vec<f64>,
+    /// `f(V)` at snapshot time.
+    total_weight: f64,
+    num_edges: usize,
+}
+
+impl CsrGraph {
+    /// Builds a snapshot from the current state of `g`.
+    pub fn from_graph(g: &DynamicGraph) -> Self {
+        let n = g.num_vertices();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut degree_total = 0u32;
+        offsets.push(0);
+        for u in g.vertices() {
+            degree_total += g.degree(u) as u32;
+            offsets.push(degree_total);
+        }
+        let mut neighbors = Vec::with_capacity(degree_total as usize);
+        let mut weights = Vec::with_capacity(degree_total as usize);
+        for u in g.vertices() {
+            for nb in g.neighbors(u) {
+                neighbors.push(nb.v);
+                weights.push(nb.w);
+            }
+        }
+        let vertex_weights = g.vertices().map(|u| g.vertex_weight(u)).collect();
+        CsrGraph {
+            offsets,
+            neighbors,
+            weights,
+            vertex_weights,
+            total_weight: g.total_weight(),
+            num_edges: g.num_edges(),
+        }
+    }
+
+    /// Number of vertices.
+    #[inline(always)]
+    pub fn num_vertices(&self) -> usize {
+        self.vertex_weights.len()
+    }
+
+    /// Number of directed edges at snapshot time.
+    #[inline(always)]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// `f(V)` at snapshot time.
+    #[inline(always)]
+    pub fn total_weight(&self) -> f64 {
+        self.total_weight
+    }
+
+    /// The suspiciousness weight `a_u`.
+    #[inline(always)]
+    pub fn vertex_weight(&self, u: VertexId) -> f64 {
+        self.vertex_weights[u.index()]
+    }
+
+    /// All incident edges of `u` as parallel `(neighbors, weights)` slices.
+    #[inline(always)]
+    pub fn incidence(&self, u: VertexId) -> (&[VertexId], &[f64]) {
+        let lo = self.offsets[u.index()] as usize;
+        let hi = self.offsets[u.index() + 1] as usize;
+        (&self.neighbors[lo..hi], &self.weights[lo..hi])
+    }
+
+    /// The incident-weight `w_u(V)` of `u` (vertex weight plus incident edge
+    /// weights).
+    pub fn incident_weight(&self, u: VertexId) -> f64 {
+        let (_, ws) = self.incidence(u);
+        self.vertex_weights[u.index()] + ws.iter().sum::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    fn sample() -> DynamicGraph {
+        let mut g = DynamicGraph::new();
+        for i in 0..4 {
+            g.add_vertex(i as f64).unwrap();
+        }
+        g.insert_edge(v(0), v(1), 1.0).unwrap();
+        g.insert_edge(v(1), v(2), 2.0).unwrap();
+        g.insert_edge(v(2), v(0), 3.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn snapshot_matches_dynamic_graph() {
+        let g = sample();
+        let csr = CsrGraph::from_graph(&g);
+        assert_eq!(csr.num_vertices(), g.num_vertices());
+        assert_eq!(csr.num_edges(), g.num_edges());
+        assert!((csr.total_weight() - g.total_weight()).abs() < 1e-12);
+        for u in g.vertices() {
+            assert_eq!(csr.vertex_weight(u), g.vertex_weight(u));
+            assert!((csr.incident_weight(u) - g.incident_weight(u)).abs() < 1e-12);
+            let (nbrs, ws) = csr.incidence(u);
+            let dynamic: Vec<_> = g.neighbors(u).collect();
+            assert_eq!(nbrs.len(), dynamic.len());
+            assert_eq!(ws.len(), dynamic.len());
+            for (i, nb) in dynamic.iter().enumerate() {
+                assert_eq!(nbrs[i], nb.v);
+                assert_eq!(ws[i], nb.w);
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_is_independent_of_later_mutation() {
+        let mut g = sample();
+        let csr = CsrGraph::from_graph(&g);
+        g.insert_edge(v(0), v(3), 10.0).unwrap();
+        assert_eq!(csr.num_edges(), 3);
+        let (nbrs, _) = csr.incidence(v(0));
+        assert_eq!(nbrs.len(), 2);
+    }
+
+    #[test]
+    fn isolated_vertices_have_empty_incidence() {
+        let mut g = DynamicGraph::new();
+        g.add_vertex(5.0).unwrap();
+        let csr = CsrGraph::from_graph(&g);
+        let (nbrs, ws) = csr.incidence(v(0));
+        assert!(nbrs.is_empty() && ws.is_empty());
+        assert_eq!(csr.incident_weight(v(0)), 5.0);
+    }
+}

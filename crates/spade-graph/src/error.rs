@@ -1,0 +1,134 @@
+//! Error types for the graph substrate.
+
+use crate::id::VertexId;
+use std::fmt;
+
+/// Errors produced by graph construction, mutation, and I/O.
+#[derive(Debug)]
+pub enum GraphError {
+    /// A vertex id referenced a vertex that does not exist.
+    VertexOutOfBounds {
+        /// The offending vertex.
+        vertex: VertexId,
+        /// Current number of vertices.
+        num_vertices: usize,
+    },
+    /// A vertex weight was negative (the model requires `a_i >= 0`).
+    NegativeVertexWeight {
+        /// The offending vertex.
+        vertex: VertexId,
+        /// The rejected weight.
+        weight: f64,
+    },
+    /// An edge weight was not strictly positive (the model requires `c_ij > 0`).
+    NonPositiveEdgeWeight {
+        /// The offending edge endpoints.
+        src: VertexId,
+        /// Destination endpoint.
+        dst: VertexId,
+        /// The rejected weight.
+        weight: f64,
+    },
+    /// A weight was NaN or infinite.
+    NonFiniteWeight {
+        /// Human-readable description of where the weight was supplied.
+        context: &'static str,
+    },
+    /// Self-loops are not part of the transaction-graph model.
+    SelfLoop {
+        /// The vertex that attempted to connect to itself.
+        vertex: VertexId,
+    },
+    /// An edge deletion or lookup referenced an edge that does not exist.
+    EdgeNotFound {
+        /// Source endpoint.
+        src: VertexId,
+        /// Destination endpoint.
+        dst: VertexId,
+    },
+    /// An I/O failure while loading or saving a graph.
+    Io(std::io::Error),
+    /// A parse failure while loading an edge list.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the malformed content.
+        message: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::VertexOutOfBounds { vertex, num_vertices } => write!(
+                f,
+                "vertex {vertex} out of bounds (graph has {num_vertices} vertices)"
+            ),
+            GraphError::NegativeVertexWeight { vertex, weight } => {
+                write!(f, "vertex {vertex} weight {weight} is negative; the model requires a_i >= 0")
+            }
+            GraphError::NonPositiveEdgeWeight { src, dst, weight } => write!(
+                f,
+                "edge ({src} -> {dst}) weight {weight} is not strictly positive; the model requires c_ij > 0"
+            ),
+            GraphError::NonFiniteWeight { context } => {
+                write!(f, "non-finite weight supplied for {context}")
+            }
+            GraphError::SelfLoop { vertex } => {
+                write!(f, "self-loop on vertex {vertex} is not allowed")
+            }
+            GraphError::EdgeNotFound { src, dst } => {
+                write!(f, "edge ({src} -> {dst}) not found")
+            }
+            GraphError::Io(e) => write!(f, "I/O error: {e}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::VertexOutOfBounds { vertex: VertexId(7), num_vertices: 3 };
+        assert!(e.to_string().contains("vertex 7"));
+        assert!(e.to_string().contains("3 vertices"));
+
+        let e = GraphError::NonPositiveEdgeWeight {
+            src: VertexId(1),
+            dst: VertexId(2),
+            weight: 0.0,
+        };
+        assert!(e.to_string().contains("c_ij > 0"));
+
+        let e = GraphError::SelfLoop { vertex: VertexId(4) };
+        assert!(e.to_string().contains("self-loop"));
+    }
+
+    #[test]
+    fn io_error_converts_and_sources() {
+        use std::error::Error;
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: GraphError = io.into();
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,20 @@
+//! # spade-metrics
+//!
+//! Measurement machinery for the Spade reproduction:
+//!
+//! * [`latency`] — the latency metric `L(ΔG_τ)` of Eq. 4 and queueing-time
+//!   bookkeeping (Fig. 8);
+//! * [`prevention`] — the prevention ratio `R` (Fig. 8, Fig. 9a);
+//! * [`summary`] — mean / percentile summaries for benchmark reports;
+//! * [`table`] — fixed-width table rendering for the paper-style harness
+//!   binaries.
+
+pub mod latency;
+pub mod prevention;
+pub mod summary;
+pub mod table;
+
+pub use latency::LatencyRecorder;
+pub use prevention::PreventionTracker;
+pub use summary::Summary;
+pub use table::Table;

@@ -1,0 +1,95 @@
+//! Percentile summaries for benchmark reports.
+
+/// Mean / percentile summary of a sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Summary {
+    /// Sample size.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median (p50).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes `samples` (unsorted; empty input yields all zeros).
+    pub fn of(samples: &[f64]) -> Summary {
+        if samples.is_empty() {
+            return Summary { count: 0, mean: 0.0, min: 0.0, p50: 0.0, p95: 0.0, p99: 0.0, max: 0.0 };
+        }
+        let mut sorted: Vec<f64> = samples.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        let pct = |q: f64| -> f64 {
+            let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+            sorted[idx]
+        };
+        Summary {
+            count: sorted.len(),
+            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            min: sorted[0],
+            p50: pct(0.50),
+            p95: pct(0.95),
+            p99: pct(0.99),
+            max: *sorted.last().unwrap(),
+        }
+    }
+
+    /// Summarizes integer samples (e.g. latencies in time units).
+    pub fn of_u64(samples: &[u64]) -> Summary {
+        let as_f64: Vec<f64> = samples.iter().map(|&x| x as f64).collect();
+        Summary::of(&as_f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_summary_is_zero() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+
+    #[test]
+    fn simple_statistics() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.count, 5);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.p50, 3.0);
+        assert_eq!(s.max, 5.0);
+    }
+
+    #[test]
+    fn percentiles_on_large_sample() {
+        let samples: Vec<f64> = (1..=1000).map(|i| i as f64).collect();
+        let s = Summary::of(&samples);
+        assert!((s.p50 - 500.0).abs() <= 1.0);
+        assert!((s.p95 - 950.0).abs() <= 1.0);
+        assert!((s.p99 - 990.0).abs() <= 1.0);
+    }
+
+    #[test]
+    fn unsorted_input_is_fine() {
+        let s = Summary::of(&[5.0, 1.0, 3.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.p50, 3.0);
+    }
+
+    #[test]
+    fn u64_conversion() {
+        let s = Summary::of_u64(&[10, 20, 30]);
+        assert!((s.mean - 20.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,62 @@
+//! The paper's Listing 2, translated: implementing Fraudar (FD) on Spade
+//! with two plugged-in suspiciousness functions — about 15 lines of user
+//! code versus ~100 for a standalone implementation.
+//!
+//! Run with: `cargo run --release --example custom_metric`
+
+use spade::core::SpadeBuilder;
+use spade::graph::VertexId;
+
+fn v(i: u32) -> VertexId {
+    VertexId(i)
+}
+
+fn main() {
+    // Listing 2:
+    //   double vsusp(Vertex v, Graph g) { return g.weight[v]; }
+    //   double esusp(Edge e, Graph g)   { return 1/log(g.deg[e.src]+5); }
+    //   spade.VSusp(vsusp); spade.ESusp(esusp);
+    //   spade.TurnOnEdgeGrouping();
+    let mut spade = SpadeBuilder::new()
+        .name("FD")
+        .vsusp(|_u, _g| 0.0) // no side information in this demo
+        .esusp(|_src, dst, _raw, g| 1.0 / (g.degree(dst) as f64 + 5.0).ln())
+        .turn_on_edge_grouping()
+        .build();
+
+    // Normal users review a handful of products each.
+    for u in 0..30u32 {
+        for p in 0..4u32 {
+            spade
+                .insert_edge(v(u), v(1000 + (u + p) % 40), 1.0)
+                .expect("valid edge");
+        }
+    }
+
+    // A review-fraud block: 12 sockpuppets hammer 3 listings. Fraudar's
+    // logarithmic column weights resist the camouflage of extra organic
+    // reviews on popular products.
+    for u in 500..512u32 {
+        for p in [2000u32, 2001, 2002] {
+            for _ in 0..3 {
+                spade.insert_edge(v(u), v(p), 1.0).expect("valid edge");
+            }
+        }
+    }
+
+    let fraudsters = spade.detect().expect("detection");
+    let mut ids: Vec<u32> = fraudsters.iter().map(|u| u.0).collect();
+    ids.sort_unstable();
+    println!("FD flags {} accounts: {ids:?}", ids.len());
+    assert!(ids.contains(&2000) && ids.contains(&500));
+
+    let det = spade.detection().expect("detection");
+    println!("community density g(S) = {:.4}", det.density);
+    if let Some(grouper) = spade.grouper() {
+        let s = grouper.stats();
+        println!(
+            "edge grouping: {} submitted, {} urgent, {} flushes",
+            s.submitted, s.urgent, s.flushes
+        );
+    }
+}

@@ -1,0 +1,221 @@
+//! Property-based tests over the full stack: arbitrary update scripts must
+//! keep the incremental engine bit-equivalent to a from-scratch peel, the
+//! detection indexes must agree, and snapshots must round-trip — the
+//! paper's correctness claims (§4.1/§4.2/Appendix A/D) as executable
+//! properties.
+
+use proptest::prelude::*;
+use spade::core::{
+    load_engine, peel, save_engine, DetectionBackend, KineticIndex, SpadeConfig, SpadeEngine,
+    TimeWindowDetector, WeightedDensity, WindowRecord,
+};
+use spade::graph::VertexId;
+
+fn v(i: u32) -> VertexId {
+    VertexId(i)
+}
+
+/// One step of an arbitrary update script against a small vertex universe.
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(u32, u32, u8),
+    InsertBatch(Vec<(u32, u32, u8)>),
+    Delete(u32, u32),
+    SetVertexSusp(u32, u8),
+}
+
+fn op_strategy(n: u32) -> impl Strategy<Value = Op> {
+    let edge = (0..n, 0..n, 1u8..6);
+    prop_oneof![
+        5 => edge.clone().prop_map(|(a, b, w)| Op::Insert(a, b, w)),
+        2 => proptest::collection::vec(edge, 1..8).prop_map(Op::InsertBatch),
+        2 => (0..n, 0..n).prop_map(|(a, b)| Op::Delete(a, b)),
+        1 => (0..n, 0u8..4).prop_map(|(a, w)| Op::SetVertexSusp(a, w)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The flagship invariant: after ANY script of insertions (single and
+    /// batched), deletions, and vertex-suspiciousness updates, the
+    /// incrementally maintained peeling sequence equals a from-scratch
+    /// greedy peel of the final graph, and the detection matches.
+    #[test]
+    fn engine_stays_equivalent_to_static_peel(
+        ops in proptest::collection::vec(op_strategy(10), 1..40)
+    ) {
+        let mut engine = SpadeEngine::new(WeightedDensity);
+        for op in ops {
+            match op {
+                Op::Insert(a, b, w) => {
+                    if a != b {
+                        engine.insert_edge(v(a), v(b), w as f64).unwrap();
+                    }
+                }
+                Op::InsertBatch(edges) => {
+                    let batch: Vec<_> = edges
+                        .into_iter()
+                        .filter(|(a, b, _)| a != b)
+                        .map(|(a, b, w)| (v(a), v(b), w as f64))
+                        .collect();
+                    if !batch.is_empty() {
+                        engine.insert_batch(&batch).unwrap();
+                    }
+                }
+                Op::Delete(a, b) => {
+                    if engine.graph().contains_vertex(v(a))
+                        && engine.graph().contains_vertex(v(b))
+                        && engine.graph().contains_edge(v(a), v(b))
+                    {
+                        engine.delete_edge(v(a), v(b)).unwrap();
+                    }
+                }
+                Op::SetVertexSusp(a, w) => {
+                    engine.set_vertex_suspiciousness(v(a), w as f64).unwrap();
+                }
+            }
+        }
+        if engine.graph().num_vertices() == 0 {
+            return Ok(());
+        }
+        let fresh = peel(engine.graph());
+        prop_assert_eq!(engine.state().logical_order(), fresh.order);
+        let det = engine.detect();
+        prop_assert!((det.density - fresh.best_density).abs() < 1e-9);
+        engine.state().validate_greedy(engine.graph(), 1e-9);
+        engine.graph().check_invariants().unwrap();
+    }
+
+    /// Kinetic detection equals the O(n) scan under arbitrary scripts.
+    #[test]
+    fn kinetic_backend_equals_scan_backend(
+        ops in proptest::collection::vec(op_strategy(8), 1..30)
+    ) {
+        let mut kinetic = SpadeEngine::with_config(
+            WeightedDensity,
+            SpadeConfig { detection: DetectionBackend::Kinetic },
+        );
+        let mut scan = SpadeEngine::with_config(
+            WeightedDensity,
+            SpadeConfig { detection: DetectionBackend::EagerScan },
+        );
+        for op in ops {
+            let (a, b, w) = match op {
+                Op::Insert(a, b, w) => (a, b, w),
+                Op::InsertBatch(edges) if !edges.is_empty() => edges[0],
+                _ => continue,
+            };
+            if a == b {
+                continue;
+            }
+            let d1 = kinetic.insert_edge(v(a), v(b), w as f64).unwrap();
+            let d2 = scan.insert_edge(v(a), v(b), w as f64).unwrap();
+            prop_assert_eq!(d1.size, d2.size);
+            prop_assert!((d1.density - d2.density).abs() < 1e-9);
+        }
+    }
+
+    /// The kinetic index agrees with a direct prefix-sum oracle under
+    /// arbitrary append/rewrite scripts (shrinking finds tiny
+    /// counterexamples if the certificates are ever wrong).
+    #[test]
+    fn kinetic_index_matches_prefix_sum_oracle(
+        init in proptest::collection::vec(0u8..20, 1..30),
+        scripts in proptest::collection::vec(
+            (0usize..30, proptest::collection::vec(0u8..20, 1..5)), 0..20
+        )
+    ) {
+        let mut deltas: Vec<f64> = init.iter().map(|&d| d as f64).collect();
+        let mut idx = KineticIndex::from_deltas(&deltas);
+        for (lo, vals) in scripts {
+            let lo = lo % deltas.len();
+            let len = vals.len().min(deltas.len() - lo);
+            if len == 0 {
+                continue;
+            }
+            let vals: Vec<f64> = vals[..len].iter().map(|&d| d as f64).collect();
+            idx.rewrite_deltas(lo, &vals);
+            deltas[lo..lo + len].copy_from_slice(&vals);
+
+            // Oracle: max over prefix sums / size, positive densities
+            // only, ties -> larger (the detection-layer convention).
+            let mut best = (0usize, 0.0f64);
+            let mut sum = 0.0;
+            for (i, &d) in deltas.iter().enumerate() {
+                sum += d;
+                let g = sum / (i + 1) as f64;
+                if g > 0.0 && g >= best.1 {
+                    best = (i + 1, g);
+                }
+            }
+            let got = idx.best();
+            prop_assert!((got.density - best.1).abs() < 1e-9,
+                "density {} vs oracle {}", got.density, best.1);
+            prop_assert_eq!(got.size, best.0);
+        }
+    }
+
+    /// Snapshot round-trips preserve the engine state exactly.
+    #[test]
+    fn snapshot_roundtrip(
+        edges in proptest::collection::vec((0u32..8, 0u32..8, 1u8..6), 1..25)
+    ) {
+        let mut engine = SpadeEngine::new(WeightedDensity);
+        for (a, b, w) in edges {
+            if a != b {
+                engine.insert_edge(v(a), v(b), w as f64).unwrap();
+            }
+        }
+        let mut buf = Vec::new();
+        save_engine(&engine, &mut buf).unwrap();
+        let mut restored =
+            load_engine(WeightedDensity, SpadeConfig::default(), buf.as_slice()).unwrap();
+        prop_assert_eq!(restored.state().logical_order(), engine.state().logical_order());
+        let (d1, d2) = (restored.detect(), engine.cached_detection());
+        prop_assert_eq!(d1.size, d2.size);
+        prop_assert!((d1.density - d2.density).abs() < 1e-9);
+    }
+
+    /// Arbitrary time-window moves match a fresh bootstrap of the window.
+    #[test]
+    fn time_windows_match_fresh_bootstrap(
+        recs in proptest::collection::vec((0u32..6, 0u32..6, 1u8..5, 0u64..40), 1..30),
+        moves in proptest::collection::vec((0u64..45, 0u64..45), 1..8)
+    ) {
+        let records: Vec<WindowRecord> = recs
+            .into_iter()
+            .filter(|(a, b, _, _)| a != b)
+            .map(|(a, b, w, ts)| WindowRecord { src: v(a), dst: v(b), c: w as f64, ts })
+            .collect();
+        if records.is_empty() {
+            return Ok(());
+        }
+        let mut detector = TimeWindowDetector::new(records.clone());
+        let mut sorted = records;
+        sorted.sort_by_key(|r| r.ts);
+        for (a, b) in moves {
+            let (ts, te) = (a.min(b), a.max(b));
+            let (det, _) = detector.detect_window(ts, te).unwrap();
+            let fresh = SpadeEngine::bootstrap(
+                WeightedDensity,
+                SpadeConfig::default(),
+                sorted
+                    .iter()
+                    .filter(|r| r.ts >= ts && r.ts < te)
+                    .map(|r| (r.src, r.dst, r.c)),
+            )
+            .unwrap();
+            let want = peel(fresh.graph());
+            let want_density = if want.order.is_empty() { 0.0 } else { want.best_density };
+            prop_assert!(
+                (det.density - want_density).abs() < 1e-9,
+                "window [{}, {}): {} vs {}",
+                ts,
+                te,
+                det.density,
+                want_density
+            );
+        }
+    }
+}
