@@ -15,28 +15,25 @@ fn bench_insert_batch(c: &mut Criterion) {
     for kind in [MetricKind::Dg, MetricKind::Fd] {
         for batch in [10usize, 100, 1000] {
             group.throughput(Throughput::Elements(batch as u64));
-            group.bench_function(
-                BenchmarkId::new(kind.inc_name(), format!("batch{batch}")),
-                |b| {
-                    let mut engine = bootstrap_engine(kind, &data.initial);
-                    let mut cursor = 0usize;
-                    let mut buf: Vec<(VertexId, VertexId, f64)> = Vec::with_capacity(batch);
-                    b.iter(|| {
-                        if cursor + batch > data.increments.len() {
-                            engine = bootstrap_engine(kind, &data.initial);
-                            cursor = 0;
-                        }
-                        buf.clear();
-                        buf.extend(
-                            data.increments[cursor..cursor + batch]
-                                .iter()
-                                .map(|e| (e.src, e.dst, e.raw)),
-                        );
-                        cursor += batch;
-                        std::hint::black_box(engine.insert_batch(&buf).unwrap());
-                    });
-                },
-            );
+            group.bench_function(BenchmarkId::new(kind.inc_name(), format!("batch{batch}")), |b| {
+                let mut engine = bootstrap_engine(kind, &data.initial);
+                let mut cursor = 0usize;
+                let mut buf: Vec<(VertexId, VertexId, f64)> = Vec::with_capacity(batch);
+                b.iter(|| {
+                    if cursor + batch > data.increments.len() {
+                        engine = bootstrap_engine(kind, &data.initial);
+                        cursor = 0;
+                    }
+                    buf.clear();
+                    buf.extend(
+                        data.increments[cursor..cursor + batch]
+                            .iter()
+                            .map(|e| (e.src, e.dst, e.raw)),
+                    );
+                    cursor += batch;
+                    std::hint::black_box(engine.insert_batch(&buf).unwrap());
+                });
+            });
         }
     }
     group.finish();

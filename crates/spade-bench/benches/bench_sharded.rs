@@ -1,0 +1,95 @@
+//! Criterion: ingest throughput of the sharded parallel runtime,
+//! sweeping shard counts 1/2/4/8 over the benign-heavy power-law
+//! marketplace stream with an injected fraud ring.
+//!
+//! Two routing policies are swept: stateless hash-by-source (pure
+//! scaling; communities may split) and the connectivity partitioner with
+//! a spill bound (communities co-resident, giant component hash-spread).
+//! Each iteration replays the full stream through a freshly spawned
+//! runtime and drains it on shutdown, so the measured time covers ingest,
+//! detection maintenance and the fan-in.
+//!
+//! Scaling requires cores: on a host with fewer cores than shards the
+//! sweep degenerates to measuring fan-out overhead (the workers time-
+//! slice one CPU). The harness prints the detected parallelism so the
+//! numbers can be read in context.
+
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spade_core::metric::WeightedDensity;
+use spade_core::shard::{PartitionStrategy, ShardedConfig, ShardedSpadeService};
+use spade_core::stream::StreamEdge;
+use spade_gen::fraud::{FraudInjector, FraudInjectorConfig};
+use spade_gen::transactions::{TransactionStream, TransactionStreamConfig};
+
+/// Benign-heavy workload: Zipf marketplace traffic plus one injected
+/// dense ring per pattern (the Fig. 9a shape at micro scale). Sized
+/// relative to `SPADE_SCALE`/`SPADE_QUICK` like the dataset-backed
+/// benches, so smoke runs stay small.
+fn workload() -> Vec<StreamEdge> {
+    // env_scale() defaults to 0.01; these bases put the default run at
+    // 1500 customers / 6000 transactions and SPADE_QUICK at a tenth.
+    let scale = spade_bench::env_scale() / 0.01;
+    let base = TransactionStream::generate(&TransactionStreamConfig {
+        customers: ((1_500.0 * scale) as usize).max(100),
+        merchants: ((500.0 * scale) as usize).max(30),
+        transactions: ((6_000.0 * scale) as usize).max(500),
+        seed: 0x5AD5,
+        ..Default::default()
+    });
+    let injected = FraudInjector::inject(
+        &base,
+        &FraudInjectorConfig {
+            instances_per_pattern: 1,
+            transactions_per_instance: ((150.0 * scale) as usize).max(40),
+            amount: 300.0,
+            ..Default::default()
+        },
+    );
+    injected.edges
+}
+
+fn replay(edges: &[StreamEdge], shards: usize, strategy: PartitionStrategy) -> u64 {
+    let config =
+        ShardedConfig { shards, queue_capacity: 4096, grouping: None, strategy, top_k: shards };
+    let service = ShardedSpadeService::spawn(WeightedDensity, config);
+    for e in edges {
+        service.submit(e.src, e.dst, e.raw);
+    }
+    // Shutdown drains every queue: the iteration covers all processing.
+    service.shutdown().total_updates
+}
+
+fn bench_shard_sweep(c: &mut Criterion) {
+    let cores = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1);
+    println!("sharded_ingest: {cores} hardware threads available (expect scaling only up to that)");
+    let edges = workload();
+    let mut group = c.benchmark_group("sharded_ingest");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(edges.len() as u64));
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_function(BenchmarkId::new("hash", shards), |b| {
+            b.iter(|| {
+                let n = replay(&edges, shards, PartitionStrategy::HashBySource);
+                assert_eq!(n, edges.len() as u64);
+            });
+        });
+    }
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_function(BenchmarkId::new("connectivity", shards), |b| {
+            b.iter(|| {
+                let n = replay(
+                    &edges,
+                    shards,
+                    PartitionStrategy::ConnectivityWithSpill { max_component: 256 },
+                );
+                assert_eq!(n, edges.len() as u64);
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shard_sweep);
+criterion_main!(benches);

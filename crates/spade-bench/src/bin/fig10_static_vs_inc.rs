@@ -18,15 +18,19 @@ use spade_metrics::Table;
 fn main() {
     println!("Figure 10: static vs incremental, |dE| = 1\n");
     let mut table = Table::new([
-        "Dataset", "Algo", "static/update", "inc/update", "speedup", "affected E frac",
+        "Dataset",
+        "Algo",
+        "static/update",
+        "inc/update",
+        "speedup",
+        "affected E frac",
     ]);
     for data in table3_datasets() {
         // Keep single-edge replay tractable at larger scales.
         let cap = 2_000.min(data.increments.len());
         let increments = &data.increments[..cap];
         for kind in MetricKind::ALL {
-            let static_us =
-                measure_static_baseline(kind, &data.initial, &data.increments, 3);
+            let static_us = measure_static_baseline(kind, &data.initial, &data.increments, 3);
             let report = measure_incremental_replay(kind, &data.initial, increments, 1);
             let inc_us = report.per_edge_us();
             let total_edges = data.initial.len() + data.increments.len();

@@ -9,9 +9,7 @@
 //! `cargo run -p spade-bench --release --bin fig11_batch_sweep`
 
 use spade_bench::replay::static_latency;
-use spade_bench::{
-    grab_datasets, measure_incremental_replay, measure_static_baseline, MetricKind,
-};
+use spade_bench::{grab_datasets, measure_incremental_replay, measure_static_baseline, MetricKind};
 use spade_metrics::Table;
 
 const BATCHES: [usize; 6] = [1, 50, 200, 400, 700, 1_000];

@@ -75,11 +75,7 @@ fn main() {
         for e in increments {
             let det = engine.insert_edge(e.src, e.dst, e.raw).expect("insert");
             if t1.is_none() {
-                let hits = engine
-                    .community(det)
-                    .iter()
-                    .filter(|m| members.contains(&m.0))
-                    .count();
+                let hits = engine.community(det).iter().filter(|m| members.contains(&m.0)).count();
                 if hits * 2 >= members.len() {
                     t1 = Some(e.timestamp);
                 }

@@ -10,8 +10,8 @@
 
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use spade_core::{enumerate_static, EnumerationConfig, SpadeConfig, SpadeEngine, WeightedDensity};
 use spade_core::stream::FraudPattern;
+use spade_core::{enumerate_static, EnumerationConfig, SpadeConfig, SpadeEngine, WeightedDensity};
 use spade_gen::fraud::{FraudInjector, FraudInjectorConfig};
 use spade_gen::transactions::{TransactionStream, TransactionStreamConfig};
 use spade_metrics::Table;
@@ -53,7 +53,11 @@ fn main() {
             let d = e.detect().density;
             let found = enumerate_static(
                 e.graph(),
-                EnumerationConfig { max_instances: 12, min_density: d / 25.0, ..Default::default() },
+                EnumerationConfig {
+                    max_instances: 12,
+                    min_density: d / 25.0,
+                    ..Default::default()
+                },
             );
             let mut counts = [0usize; 3];
             for inst in &found {
@@ -63,9 +67,7 @@ fn main() {
                 if let Some((gt, overlap)) = injected
                     .instances
                     .iter()
-                    .map(|gt| {
-                        (gt, gt.members.iter().filter(|m| members.contains(&m.0)).count())
-                    })
+                    .map(|gt| (gt, gt.members.iter().filter(|m| members.contains(&m.0)).count()))
                     .max_by_key(|(_, o)| *o)
                 {
                     if overlap * 2 >= gt.members.len() {

@@ -11,8 +11,8 @@
 
 use spade_bench::clock::SimulatedClock;
 use spade_bench::replay::{bootstrap_engine, AnyMetric, MetricKind};
-use spade_core::{EdgeGrouper, GroupingConfig, SpadeEngine};
 use spade_core::stream::StreamEdge;
+use spade_core::{EdgeGrouper, GroupingConfig, SpadeEngine};
 use spade_gen::fraud::{FraudInjector, FraudInjectorConfig, InjectedStream};
 use spade_gen::transactions::{TransactionStream, TransactionStreamConfig};
 use spade_metrics::{LatencyRecorder, PreventionTracker, Table};
@@ -154,7 +154,12 @@ fn run_grouped(kind: MetricKind, injected: &InjectedStream, split: usize) -> Run
     attr.result(kind.grouped_name().to_string())
 }
 
-fn run_batched(kind: MetricKind, injected: &InjectedStream, split: usize, batch: usize) -> RunResult {
+fn run_batched(
+    kind: MetricKind,
+    injected: &InjectedStream,
+    split: usize,
+    batch: usize,
+) -> RunResult {
     let (initial, increments) = injected.edges.split_at(split);
     let mut engine = bootstrap_engine(kind, initial);
     let mut attr = Attribution::new(injected);

@@ -20,7 +20,8 @@ fn main() {
     .expect("bootstrap");
     let dist = DegreeDistribution::of(engine.graph());
 
-    println!("Figure 9b: degree distribution of {} (|V|={}, |E|={})\n",
+    println!(
+        "Figure 9b: degree distribution of {} (|V|={}, |E|={})\n",
         data.name,
         engine.graph().num_vertices(),
         engine.graph().num_edges()
@@ -34,7 +35,9 @@ fn main() {
     }
     table.print();
     match dist.power_law_exponent() {
-        Some(alpha) => println!("\nfitted power-law exponent alpha = {alpha:.2} (heavy tail, as in the paper)"),
+        Some(alpha) => {
+            println!("\nfitted power-law exponent alpha = {alpha:.2} (heavy tail, as in the paper)")
+        }
         None => println!("\n(not enough buckets for a power-law fit)"),
     }
 }

@@ -3,9 +3,9 @@
 //! `cargo run -p spade-bench --release --bin table3_datasets`
 
 use spade_bench::{env_scale, table3_datasets};
+use spade_core::SpadeConfig;
 use spade_core::SpadeEngine;
 use spade_core::UnweightedDensity;
-use spade_core::SpadeConfig;
 use spade_graph::stats::GraphStats;
 use spade_metrics::Table;
 

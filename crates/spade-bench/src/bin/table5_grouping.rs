@@ -48,8 +48,7 @@ fn main() {
             static_latencies.push(lat);
         }
         for (i, kind) in MetricKind::ALL.into_iter().enumerate() {
-            let report =
-                measure_incremental_replay(kind, &data.initial, &data.increments, 1_000);
+            let report = measure_incremental_replay(kind, &data.initial, &data.increments, 1_000);
             row.push(fmt_us(report.per_edge_us()));
             row.push(format!("{:.3}", report.latency.normalized_to(&static_latencies[i])));
         }

@@ -17,10 +17,10 @@
 
 use crate::clock::SimulatedClock;
 use spade_core::metric::{DensityMetric, Fraudar, UnweightedDensity, WeightedDensity};
+use spade_core::{order::MinQueue, stream::StreamEdge};
 use spade_core::{
     peel_with_queue, EdgeGrouper, GroupingConfig, ReorderStats, SpadeConfig, SpadeEngine,
 };
-use spade_core::{order::MinQueue, stream::StreamEdge};
 use spade_graph::{CsrGraph, DynamicGraph, VertexId};
 use spade_metrics::LatencyRecorder;
 use std::time::Instant;
@@ -332,13 +332,10 @@ mod tests {
         let s = tiny();
         let (init, inc) = s.split(0.9);
         let mut flushes = 0usize;
-        let report = measure_grouped_replay(
-            MetricKind::Dw,
-            init,
-            inc,
-            GroupingConfig::default(),
-            |_, _| flushes += 1,
-        );
+        let report =
+            measure_grouped_replay(MetricKind::Dw, init, inc, GroupingConfig::default(), |_, _| {
+                flushes += 1
+            });
         assert_eq!(report.latency.count(), inc.len());
         assert_eq!(report.rounds, flushes);
         assert!(flushes >= 1);

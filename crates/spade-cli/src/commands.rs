@@ -3,7 +3,8 @@
 use crate::args::Args;
 use spade_core::metric::{DensityMetric, Fraudar, UnweightedDensity, WeightedDensity};
 use spade_core::{
-    load_engine, save_engine, EdgeGrouper, GroupingConfig, SpadeConfig, SpadeEngine,
+    load_engine, save_engine, EdgeGrouper, GroupingConfig, PartitionStrategy, ShardedConfig,
+    ShardedSpadeService, SpadeConfig, SpadeEngine,
 };
 use spade_gen::datasets::DatasetSpec;
 use spade_graph::io::{read_edge_list, EdgeRecord};
@@ -76,21 +77,28 @@ pub fn print_help() {
         "spade — real-time fraud detection on evolving transaction graphs
 
 USAGE:
-  spade detect   <edges.txt> [--metric dg|dw|fd] [--top N]
+  spade detect   <edges.txt> [--metric dg|dw|fd] [--top N] [--shards N]
   spade stream   <edges.txt> [--metric dg|dw|fd] [--initial 0.9]
                  [--batch N | --grouping]
+  spade serve    <edges.txt> [--shards N] [--metric dg|dw|fd] [--grouping]
+                 [--queue N] [--partitioner hash|connectivity] [--top N]
   spade gen      [--dataset Grab1] [--scale 0.01] [--seed 42] [--out FILE]
   spade snapshot <edges.txt> --out FILE [--metric dg|dw|fd]
   spade resume   <FILE> [--metric dg|dw|fd] [--top N]
   spade help
+
+`serve` replays the file through the sharded parallel runtime (one engine
+per shard, communities kept co-resident by the connectivity partitioner)
+and reports per-shard statistics plus the `--top` densest per-shard
+communities (at most one per shard). `detect --shards N` routes the same
+static input through N shards instead of one engine.
 
 Edge lists are whitespace-separated `src dst [raw] [timestamp]` lines."
     );
 }
 
 fn load_records(path: &str) -> Result<Vec<EdgeRecord>, AnyError> {
-    let file = std::fs::File::open(path)
-        .map_err(|e| format!("cannot open {path}: {e}"))?;
+    let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
     let (records, _) = read_edge_list(file)?;
     Ok(records)
 }
@@ -99,10 +107,7 @@ fn metric_from(args: &Args) -> Result<CliMetric, AnyError> {
     CliMetric::from_name(&args.str_opt("metric", "dw"))
 }
 
-fn print_communities<M: DensityMetric>(
-    engine: &mut SpadeEngine<M>,
-    top: usize,
-) {
+fn print_communities<M: DensityMetric>(engine: &mut SpadeEngine<M>, top: usize) {
     let det = engine.detect();
     if det.size == 0 {
         println!("no suspicious community detected");
@@ -118,8 +123,7 @@ fn print_communities<M: DensityMetric>(
     );
     let mut table = Table::new(["#", "members", "density", "sample accounts"]);
     for (i, inst) in instances.iter().enumerate() {
-        let sample: Vec<String> =
-            inst.members.iter().take(8).map(|m| m.0.to_string()).collect();
+        let sample: Vec<String> = inst.members.iter().take(8).map(|m| m.0.to_string()).collect();
         table.row([
             (i + 1).to_string(),
             inst.members.len().to_string(),
@@ -130,11 +134,133 @@ fn print_communities<M: DensityMetric>(
     table.print();
 }
 
+/// Builds a [`ShardedConfig`] from the shared `--shards`, `--queue`,
+/// `--partitioner` and `--grouping` options.
+fn sharded_config_from(args: &Args, shards: usize) -> Result<ShardedConfig, AnyError> {
+    let strategy = match args.options.get("partitioner") {
+        Some(name) if !name.is_empty() => PartitionStrategy::from_name(name).ok_or_else(|| {
+            format!("unknown partitioner {name:?} (expected hash or connectivity)")
+        })?,
+        _ => PartitionStrategy::default(),
+    };
+    Ok(ShardedConfig {
+        shards,
+        queue_capacity: args.num_opt("queue", 1024usize)?.max(1),
+        grouping: args.flag("grouping").then(GroupingConfig::default),
+        strategy,
+        top_k: shards,
+    })
+}
+
+/// Prints the per-shard statistics table and the `top` densest
+/// per-shard communities of the merged view.
+fn print_sharded_report(
+    service: &ShardedSpadeService,
+    elapsed_secs: f64,
+    replayed: usize,
+    top: usize,
+) {
+    let stats = service.stats();
+    let global = service.current_detection();
+    println!(
+        "{} transactions over {} shards in {:.1} ms ({:.0} tx/s)",
+        replayed,
+        stats.len(),
+        elapsed_secs * 1e3,
+        replayed as f64 / elapsed_secs.max(1e-9),
+    );
+    let mut table =
+        Table::new(["shard", "updates", "flushes", "publishes", "det size", "det density"]);
+    for s in &stats {
+        table.row([
+            s.shard.to_string(),
+            s.service.updates_applied.to_string(),
+            s.service.flushes.to_string(),
+            s.service.publishes.to_string(),
+            s.service.detection_size.to_string(),
+            format!("{:.3}", s.service.detection_density),
+        ]);
+    }
+    table.print();
+    let ranked: Vec<_> = global.top.iter().filter(|s| s.detection.size > 0).take(top).collect();
+    if ranked.is_empty() {
+        println!("no suspicious community detected");
+        return;
+    }
+    for (rank, s) in ranked.iter().enumerate() {
+        let sample: Vec<String> =
+            s.detection.members.iter().take(8).map(|m| m.0.to_string()).collect();
+        println!(
+            "#{}: shard {}, {} members, density {:.3} (accounts {})",
+            rank + 1,
+            s.shard,
+            s.detection.size,
+            s.detection.density,
+            sample.join(","),
+        );
+    }
+}
+
+/// `spade serve`: replay an edge list through the sharded parallel
+/// runtime and report the merged detection.
+pub fn serve(args: &Args) -> Result<(), AnyError> {
+    let shards = args.num_opt("shards", 4usize)?.max(1);
+    run_sharded(args, shards, "serve needs an edge-list path")
+}
+
+/// `spade detect --shards N`: the same input, N parallel engines.
+fn detect_sharded(args: &Args, shards: usize) -> Result<(), AnyError> {
+    run_sharded(args, shards, "detect needs an edge-list path")
+}
+
+fn run_sharded(args: &Args, shards: usize, path_error: &'static str) -> Result<(), AnyError> {
+    let path = args.pos(0).ok_or(path_error)?;
+    let metric = metric_from(args)?;
+    let top = args.num_opt("top", 3usize)?.max(1);
+    let config = sharded_config_from(args, shards)?;
+    let records = load_records(path)?;
+    let service = ShardedSpadeService::spawn(metric, config);
+    let started = Instant::now();
+    for r in &records {
+        if !service.submit(r.src, r.dst, r.weight) {
+            return Err("a shard shut down while ingesting".into());
+        }
+    }
+    // The flush command trails every insert in each shard's FIFO queue,
+    // so once all shards have published post-flush counters covering
+    // every record, the report is exact. The periodic re-flush doubles as
+    // a liveness check — a dead shard fails the send and we error
+    // instead of spinning forever — but runs on a coarse interval so the
+    // drain isn't slowed by per-poll full publishes.
+    if !service.flush() {
+        return Err("a shard shut down while flushing".into());
+    }
+    let mut next_liveness = Instant::now() + std::time::Duration::from_millis(100);
+    while service.stats().iter().map(|s| s.service.updates_applied).sum::<u64>()
+        < records.len() as u64
+    {
+        if Instant::now() >= next_liveness {
+            if !service.flush() {
+                return Err("a shard shut down while draining".into());
+            }
+            next_liveness = Instant::now() + std::time::Duration::from_millis(100);
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    print_sharded_report(&service, started.elapsed().as_secs_f64(), records.len(), top);
+    service.shutdown();
+    Ok(())
+}
+
 /// `spade detect`: one static detection over the whole file.
 pub fn detect(args: &Args) -> Result<(), AnyError> {
     let path = args.pos(0).ok_or("detect needs an edge-list path")?;
     let metric = metric_from(args)?;
     let top = args.num_opt("top", 3usize)?;
+    let shards = args.num_opt("shards", 1usize)?.max(1);
+    if shards > 1 {
+        return detect_sharded(args, shards);
+    }
     let records = load_records(path)?;
     let started = Instant::now();
     let mut engine = SpadeEngine::bootstrap(
@@ -189,10 +315,7 @@ pub fn stream(args: &Args) -> Result<(), AnyError> {
         }
         grouper.flush(&mut engine)?;
         let s = grouper.stats();
-        println!(
-            "grouping: {} submitted, {} urgent, {} flushes",
-            s.submitted, s.urgent, s.flushes
-        );
+        println!("grouping: {} submitted, {} urgent, {} flushes", s.submitted, s.urgent, s.flushes);
     } else {
         let mut buf = Vec::with_capacity(batch);
         for chunk in tail.chunks(batch) {
@@ -344,15 +467,28 @@ mod tests {
     fn gen_snapshot_resume_pipeline() {
         let dir = temp_dir();
         let edges = dir.join("gen.txt").to_string_lossy().into_owned();
-        generate(&args(&format!(
-            "gen --dataset Wiki-Vote --scale 0.02 --seed 7 --out {edges}"
-        )))
-        .unwrap();
+        generate(&args(&format!("gen --dataset Wiki-Vote --scale 0.02 --seed 7 --out {edges}")))
+            .unwrap();
         assert!(std::fs::metadata(&edges).unwrap().len() > 0);
 
         let snap = dir.join("state.spade").to_string_lossy().into_owned();
         snapshot(&args(&format!("snapshot {edges} --metric dg --out {snap}"))).unwrap();
         resume(&args(&format!("resume {snap} --metric dg --top 2"))).unwrap();
+    }
+
+    #[test]
+    fn serve_command_runs_sharded() {
+        let dir = temp_dir();
+        let path = write_sample_edges(&dir);
+        serve(&args(&format!("serve {path} --shards 4 --metric dw"))).unwrap();
+        serve(&args(&format!("serve {path} --shards 2 --partitioner hash --grouping"))).unwrap();
+    }
+
+    #[test]
+    fn detect_with_shards_runs() {
+        let dir = temp_dir();
+        let path = write_sample_edges(&dir);
+        detect(&args(&format!("detect {path} --metric dw --shards 3"))).unwrap();
     }
 
     #[test]
@@ -362,5 +498,7 @@ mod tests {
         assert!(stream(&args("stream missing.txt --initial 2.0")).is_err());
         assert!(generate(&args("gen --dataset NotADataset")).is_err());
         assert!(snapshot(&args("snapshot whatever.txt")).is_err());
+        assert!(serve(&args("serve")).is_err());
+        assert!(serve(&args("serve missing.txt --partitioner bogus")).is_err());
     }
 }

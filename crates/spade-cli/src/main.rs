@@ -1,8 +1,10 @@
 //! `spade` — command-line fraud detection on transaction edge lists.
 //!
 //! ```text
-//! spade detect <edges.txt> [--metric dg|dw|fd] [--top N]
+//! spade detect <edges.txt> [--metric dg|dw|fd] [--top N] [--shards N]
 //! spade stream <edges.txt> [--metric ...] [--initial 0.9] [--batch N | --grouping]
+//! spade serve  <edges.txt> [--shards N] [--metric ...] [--grouping]
+//!              [--queue N] [--partitioner hash|connectivity]
 //! spade gen    [--dataset Grab1] [--scale 0.01] [--seed N] [--out FILE]
 //! spade snapshot <edges.txt> --out <file.spade> [--metric ...]
 //! spade resume  <file.spade> [--metric ...] [--top N]
@@ -30,6 +32,7 @@ fn main() -> ExitCode {
     let result = match args.command.as_str() {
         "detect" => commands::detect(&args),
         "stream" => commands::stream(&args),
+        "serve" => commands::serve(&args),
         "gen" => commands::generate(&args),
         "snapshot" => commands::snapshot(&args),
         "resume" => commands::resume(&args),

@@ -211,7 +211,13 @@ mod tests {
         graph.insert_edge(v(2), v(3), 6.0).unwrap();
         let mut blacks = Vec::new();
         crate::reorder::reorder_single_edge(
-            &graph, &mut state, v(2), v(3), &mut scratch, &mut blacks, |_, _| {},
+            &graph,
+            &mut state,
+            v(2),
+            v(3),
+            &mut scratch,
+            &mut blacks,
+            |_, _| {},
         );
         delete_and_reorder(&mut graph, &mut state, &mut scratch, v(2), v(3), 6.0, |_, _| {})
             .unwrap();
@@ -239,9 +245,8 @@ mod tests {
         let mut state = PeelingState::from_outcome(&peel(&graph));
         let before = state.logical_order();
         let mut scratch = ReorderScratch::new();
-        let err = delete_and_reorder(
-            &mut graph, &mut state, &mut scratch, v(2), v(4), 1.0, |_, _| {},
-        );
+        let err =
+            delete_and_reorder(&mut graph, &mut state, &mut scratch, v(2), v(4), 1.0, |_, _| {});
         assert!(err.is_err());
         assert_eq!(state.logical_order(), before);
     }
@@ -275,13 +280,25 @@ mod tests {
                 if rng.gen_bool(0.5) {
                     if graph.insert_edge(v(a), v(b), rng.gen_range(1..6) as f64).is_ok() {
                         crate::reorder::reorder_single_edge(
-                            &graph, &mut state, v(a), v(b), &mut scratch, &mut blacks, |_, _| {},
+                            &graph,
+                            &mut state,
+                            v(a),
+                            v(b),
+                            &mut scratch,
+                            &mut blacks,
+                            |_, _| {},
                         );
                     }
                 } else if let Some(w) = graph.edge_weight(v(a), v(b)) {
                     let amount = if rng.gen_bool(0.5) { w } else { (w / 2.0).max(0.5) };
                     delete_and_reorder(
-                        &mut graph, &mut state, &mut scratch, v(a), v(b), amount, |_, _| {},
+                        &mut graph,
+                        &mut state,
+                        &mut scratch,
+                        v(a),
+                        v(b),
+                        amount,
+                        |_, _| {},
                     )
                     .unwrap();
                 }

@@ -268,11 +268,8 @@ impl<M: DensityMetric> SpadeEngine<M> {
         }
         self.graph.insert_edge(src, dst, c)?;
         self.blacks_buf.clear();
-        let earlier = if self.state.position_of(src) < self.state.position_of(dst) {
-            src
-        } else {
-            dst
-        };
+        let earlier =
+            if self.state.position_of(src) < self.state.position_of(dst) { src } else { dst };
         self.blacks_buf.push(earlier);
         self.run_reorder();
         Ok(self.refresh_detection())
@@ -307,11 +304,8 @@ impl<M: DensityMetric> SpadeEngine<M> {
         for &(src, dst, raw) in edges {
             self.prepare_vertex(src)?;
             self.prepare_vertex(dst)?;
-            let c = if preweighted {
-                raw
-            } else {
-                self.metric.edge_susp(src, dst, raw, &self.graph)
-            };
+            let c =
+                if preweighted { raw } else { self.metric.edge_susp(src, dst, raw, &self.graph) };
             validate_susp(src, dst, c)?;
             if c == 0.0 {
                 continue; // redundant under the metric's set semantics
@@ -320,11 +314,8 @@ impl<M: DensityMetric> SpadeEngine<M> {
             inserted.push((src, dst));
         }
         for (src, dst) in inserted {
-            let earlier = if self.state.position_of(src) < self.state.position_of(dst) {
-                src
-            } else {
-                dst
-            };
+            let earlier =
+                if self.state.position_of(src) < self.state.position_of(dst) { src } else { dst };
             self.blacks_buf.push(earlier);
         }
         self.run_reorder();
@@ -367,10 +358,7 @@ impl<M: DensityMetric> SpadeEngine<M> {
 
     /// Removes an accumulated edge entirely and reorders (Appendix C.1).
     pub fn delete_edge(&mut self, src: VertexId, dst: VertexId) -> Result<Detection, GraphError> {
-        let w = self
-            .graph
-            .edge_weight(src, dst)
-            .ok_or(GraphError::EdgeNotFound { src, dst })?;
+        let w = self.graph.edge_weight(src, dst).ok_or(GraphError::EdgeNotFound { src, dst })?;
         self.delete_transaction(src, dst, w)
     }
 
@@ -609,8 +597,7 @@ mod tests {
     #[test]
     fn fraudar_streaming_keeps_valid_greedy_state() {
         let mut e = SpadeEngine::new(Fraudar::new());
-        let edges =
-            [(0u32, 5u32), (1, 5), (2, 5), (3, 5), (0, 6), (1, 6), (2, 6), (4, 7), (3, 7)];
+        let edges = [(0u32, 5u32), (1, 5), (2, 5), (3, 5), (0, 6), (1, 6), (2, 6), (4, 7), (3, 7)];
         for &(a, b) in &edges {
             e.insert_edge(v(a), v(b), 1.0).unwrap();
         }

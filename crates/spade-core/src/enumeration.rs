@@ -52,11 +52,7 @@ impl Default for EnumerationConfig {
 /// Splits `members` into weakly connected components of the induced
 /// subgraph and reports each with its own density; single-component
 /// communities come back unchanged.
-fn split_instances(
-    g: &DynamicGraph,
-    members: &[VertexId],
-    density: f64,
-) -> Vec<FraudInstance> {
+fn split_instances(g: &DynamicGraph, members: &[VertexId], density: f64) -> Vec<FraudInstance> {
     use spade_graph::hash::FxHashMap;
     let mut index: FxHashMap<u32, usize> = FxHashMap::default();
     for (i, m) in members.iter().enumerate() {
@@ -96,7 +92,9 @@ fn split_instances(
             let mut f: f64 = group.iter().map(|&u| g.vertex_weight(u)).sum();
             for &u in &group {
                 for nb in g.out_neighbors(u) {
-                    if index.contains_key(&nb.v.0) && component[index[&nb.v.0]] == component[index[&u.0]] {
+                    if index.contains_key(&nb.v.0)
+                        && component[index[&nb.v.0]] == component[index[&u.0]]
+                    {
                         f += nb.w;
                     }
                 }
@@ -238,8 +236,10 @@ mod tests {
     #[test]
     fn static_enumeration_finds_both_blocks_in_density_order() {
         let g = two_block_graph();
-        let instances =
-            enumerate_static(&g, EnumerationConfig { max_instances: 2, min_density: 1.0, ..Default::default() });
+        let instances = enumerate_static(
+            &g,
+            EnumerationConfig { max_instances: 2, min_density: 1.0, ..Default::default() },
+        );
         assert_eq!(instances.len(), 2);
         let mut a: Vec<u32> = instances[0].members.iter().map(|u| u.0).collect();
         a.sort_unstable();
@@ -255,8 +255,10 @@ mod tests {
     #[test]
     fn min_density_floor_stops_enumeration() {
         let g = two_block_graph();
-        let instances =
-            enumerate_static(&g, EnumerationConfig { max_instances: 0, min_density: 10.0, ..Default::default() });
+        let instances = enumerate_static(
+            &g,
+            EnumerationConfig { max_instances: 0, min_density: 10.0, ..Default::default() },
+        );
         assert_eq!(instances.len(), 1);
     }
 

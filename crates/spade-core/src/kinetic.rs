@@ -47,8 +47,13 @@ struct Node {
 }
 
 impl Node {
-    const EMPTY: Node =
-        Node { y: 0.0, slot: NO_SLOT, lazy: 0.0, slack_pos: f64::INFINITY, slack_neg: f64::INFINITY };
+    const EMPTY: Node = Node {
+        y: 0.0,
+        slot: NO_SLOT,
+        lazy: 0.0,
+        slack_pos: f64::INFINITY,
+        slack_neg: f64::INFINITY,
+    };
 
     #[inline(always)]
     fn density(&self) -> f64 {
@@ -463,8 +468,7 @@ mod tests {
                     1 if !deltas.is_empty() => {
                         let lo = rng.gen_range(0..deltas.len());
                         let len = rng.gen_range(1..=(deltas.len() - lo).min(6));
-                        let new: Vec<f64> =
-                            (0..len).map(|_| rng.gen_range(0..20) as f64).collect();
+                        let new: Vec<f64> = (0..len).map(|_| rng.gen_range(0..20) as f64).collect();
                         idx.rewrite_deltas(lo, &new);
                         deltas[lo..lo + len].copy_from_slice(&new);
                     }
@@ -483,7 +487,7 @@ mod tests {
     fn large_scale_stress_against_oracle() {
         use rand::{Rng, SeedableRng};
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0x57E55);
-        let n = 4096;
+        let n = 4096usize;
         let mut deltas: Vec<f64> = (0..n).map(|_| rng.gen_range(0..100) as f64).collect();
         let mut idx = KineticIndex::from_deltas(&deltas);
         for round in 0..200 {

@@ -14,6 +14,7 @@ pub mod peel;
 pub mod persist;
 pub mod reorder;
 pub mod service;
+pub mod shard;
 pub mod spade;
 pub mod state;
 pub mod stream;
@@ -27,7 +28,10 @@ pub use metric::{CustomMetric, DensityMetric, Fraudar, UnweightedDensity, Weight
 pub use peel::{peel, peel_with_queue, PeelingOutcome};
 pub use persist::{load_engine, save_engine, SnapshotError};
 pub use reorder::{ReorderScratch, ReorderStats};
-pub use service::{PublishedDetection, SpadeService};
+pub use service::{PublishedDetection, ServiceStats, SpadeService};
+pub use shard::{
+    GlobalDetection, PartitionStrategy, Partitioner, ShardStats, ShardedConfig, ShardedSpadeService,
+};
 pub use spade::{Spade, SpadeBuilder};
 pub use state::{Detection, PeelingState};
 pub use stream::{FraudLabel, FraudPattern, StreamEdge};

@@ -373,11 +373,7 @@ mod tests {
     #[test]
     fn custom_metric_closures() {
         let g = two_vertex_graph();
-        let m = CustomMetric::new(
-            "amount-capped",
-            |_u, _g| 0.25,
-            |_s, _d, raw, _g| raw.min(10.0),
-        );
+        let m = CustomMetric::new("amount-capped", |_u, _g| 0.25, |_s, _d, raw, _g| raw.min(10.0));
         assert_eq!(m.vertex_susp(v(0), &g), 0.25);
         assert_eq!(m.edge_susp(v(0), v(1), 50.0, &g), 10.0);
         assert_eq!(m.name(), "amount-capped");

@@ -50,9 +50,7 @@ impl PartialOrd for PeelKey {
 impl Ord for PeelKey {
     #[inline(always)]
     fn cmp(&self, other: &Self) -> Ordering {
-        self.weight
-            .total_cmp(&other.weight)
-            .then_with(|| other.vertex.cmp(&self.vertex))
+        self.weight.total_cmp(&other.weight).then_with(|| other.vertex.cmp(&self.vertex))
     }
 }
 

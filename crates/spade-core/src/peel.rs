@@ -336,9 +336,7 @@ mod tests {
         let g = figure3_graph();
         let out = peel(&g);
         let n = out.order.len();
-        let best = (0..n)
-            .map(|k| out.density_after(k))
-            .fold(f64::NEG_INFINITY, f64::max);
+        let best = (0..n).map(|k| out.density_after(k)).fold(f64::NEG_INFINITY, f64::max);
         assert!((best - out.best_density).abs() < 1e-9);
         assert!((out.density_after(out.best_prefix) - out.best_density).abs() < 1e-9);
     }

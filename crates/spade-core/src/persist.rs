@@ -95,8 +95,7 @@ pub fn load_engine<M: DensityMetric, R: Read>(
 fn encode(graph: &DynamicGraph, state: &PeelingState) -> Bytes {
     let n = graph.num_vertices();
     let m = graph.num_edges();
-    let mut buf =
-        BytesMut::with_capacity(24 + n * 8 + m * 20 + state.len() * 12);
+    let mut buf = BytesMut::with_capacity(24 + n * 8 + m * 20 + state.len() * 12);
     buf.put_u32_le(MAGIC);
     buf.put_u32_le(VERSION);
     buf.put_u64_le(n as u64);
@@ -239,10 +238,7 @@ mod tests {
             load_engine(WeightedDensity, SpadeConfig::default(), bytes.as_slice()).unwrap();
         restored.insert_edge(v(8), v(9), 42.0).unwrap();
         restored.delete_edge(v(7), v(2)).unwrap();
-        assert_eq!(
-            restored.state().logical_order(),
-            crate::peel::peel(restored.graph()).order
-        );
+        assert_eq!(restored.state().logical_order(), crate::peel::peel(restored.graph()).order);
     }
 
     #[test]

@@ -211,8 +211,7 @@ fn recovered_weight(
 ) -> f64 {
     let mut w = graph.vertex_weight(v);
     for nb in graph.neighbors(v) {
-        let in_remaining =
-            scratch.queue.contains(nb.v) || state.position_of(nb.v) >= k_current;
+        let in_remaining = scratch.queue.contains(nb.v) || state.position_of(nb.v) >= k_current;
         if in_remaining {
             w += nb.w;
         }
@@ -417,11 +416,8 @@ mod tests {
             graph.insert_edge(v(a), v(b), w).unwrap();
         }
         for &(a, b, _) in &edges {
-            let earlier = if state.position_of(v(a)) < state.position_of(v(b)) {
-                v(a)
-            } else {
-                v(b)
-            };
+            let earlier =
+                if state.position_of(v(a)) < state.position_of(v(b)) { v(a) } else { v(b) };
             blacks.push(earlier);
         }
         reorder(&graph, &mut state, &mut blacks, &mut scratch, |_, _| {});
@@ -498,7 +494,13 @@ mod tests {
             for &(a, b, w) in &updates {
                 graph.insert_edge(v(a), v(b), w).unwrap();
                 reorder_single_edge(
-                    &graph, &mut state, v(a), v(b), &mut scratch, &mut blacks, |_, _| {},
+                    &graph,
+                    &mut state,
+                    v(a),
+                    v(b),
+                    &mut scratch,
+                    &mut blacks,
+                    |_, _| {},
                 );
             }
             let fresh = peel(&graph);
@@ -539,11 +541,8 @@ mod tests {
                     continue;
                 }
                 if graph.insert_edge(v(a), v(b), rng.gen_range(1..5) as f64).is_ok() {
-                    let earlier = if state.position_of(v(a)) < state.position_of(v(b)) {
-                        v(a)
-                    } else {
-                        v(b)
-                    };
+                    let earlier =
+                        if state.position_of(v(a)) < state.position_of(v(b)) { v(a) } else { v(b) };
                     blacks.push(earlier);
                 }
             }

@@ -12,6 +12,10 @@
 //! The service wraps the edge-grouping layer, so benign traffic batches
 //! exactly as in §4.3 while urgent transactions update the published
 //! detection immediately.
+//!
+//! The sharded runtime (`crate::shard`) scales this out by wrapping one
+//! [`SpadeService`] per shard — same ingest protocol, same
+//! publish-into-snapshot discipline, same drain-on-shutdown guarantee.
 
 use crate::engine::SpadeEngine;
 use crate::grouping::{EdgeGrouper, GroupingConfig};
@@ -20,6 +24,7 @@ use crate::state::Detection;
 use crossbeam::channel::{bounded, Receiver, Sender};
 use parking_lot::RwLock;
 use spade_graph::VertexId;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -32,20 +37,62 @@ pub struct PublishedDetection {
     pub density: f64,
     /// Members of the detected community.
     pub members: Vec<VertexId>,
-    /// Count of updates applied when this detection was published.
+    /// Ingest commands processed when this detection was published.
+    /// Counts every submitted transaction, including ones the engine
+    /// rejected (self-loops, bad weights) or treated as redundant — it
+    /// answers "how much of the stream has this worker consumed", which
+    /// is what drain/exactness accounting needs, not "how many edges
+    /// landed in the graph".
     pub updates_applied: u64,
 }
 
+/// The ingest protocol between a service handle and its worker thread.
 enum Command {
+    /// One transaction.
     Insert { src: VertexId, dst: VertexId, raw: f64 },
+    /// Apply any buffered benign edges now.
     Flush,
+    /// Drain and exit.
     Shutdown,
+}
+
+/// Counters a worker thread exports while running (all monotonic).
+#[derive(Debug, Default)]
+struct WorkerTelemetry {
+    /// Edge-grouping flushes applied (urgent, capacity, manual and the
+    /// final drain).
+    pub flushes: AtomicU64,
+    /// Snapshot publications.
+    pub publishes: AtomicU64,
+}
+
+/// Point-in-time statistics of a running [`SpadeService`].
+///
+/// Carries the published detection's descriptor (size/density) so status
+/// polling never clones the member list — use
+/// [`SpadeService::current_detection`] when the members are needed.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServiceStats {
+    /// Commands waiting in the ingest queue.
+    pub queue_depth: usize,
+    /// Ingest commands processed at the last publish (see
+    /// [`PublishedDetection::updates_applied`] for exact semantics).
+    pub updates_applied: u64,
+    /// Edge-grouping flushes performed.
+    pub flushes: u64,
+    /// Detection snapshots published.
+    pub publishes: u64,
+    /// Size of the last published detection.
+    pub detection_size: usize,
+    /// Density of the last published detection.
+    pub detection_density: f64,
 }
 
 /// Handle to a running detection service.
 pub struct SpadeService {
     sender: Sender<Command>,
     shared: Arc<RwLock<PublishedDetection>>,
+    telemetry: Arc<WorkerTelemetry>,
     worker: Option<JoinHandle<()>>,
 }
 
@@ -58,14 +105,27 @@ impl SpadeService {
         grouping: Option<GroupingConfig>,
         queue_capacity: usize,
     ) -> Self {
+        Self::spawn_named(engine, grouping, queue_capacity, "spade-detector".into())
+    }
+
+    /// [`spawn`](Self::spawn) with an explicit worker-thread name — the
+    /// sharded runtime names each of its workers `spade-shard-<i>`.
+    pub fn spawn_named<M: DensityMetric + Send + 'static>(
+        engine: SpadeEngine<M>,
+        grouping: Option<GroupingConfig>,
+        queue_capacity: usize,
+        thread_name: String,
+    ) -> Self {
         let (sender, receiver) = bounded(queue_capacity.max(1));
         let shared = Arc::new(RwLock::new(PublishedDetection::default()));
+        let telemetry = Arc::new(WorkerTelemetry::default());
         let worker_shared = Arc::clone(&shared);
+        let worker_telemetry = Arc::clone(&telemetry);
         let worker = std::thread::Builder::new()
-            .name("spade-detector".into())
-            .spawn(move || worker_loop(engine, grouping, receiver, worker_shared))
+            .name(thread_name)
+            .spawn(move || worker_loop(engine, grouping, receiver, worker_shared, worker_telemetry))
             .expect("failed to spawn detector thread");
-        SpadeService { sender, shared, worker: Some(worker) }
+        SpadeService { sender, shared, telemetry, worker: Some(worker) }
     }
 
     /// Enqueues one transaction; blocks when the ingest queue is full
@@ -83,6 +143,19 @@ impl SpadeService {
     /// purposes: a brief read lock on a small struct).
     pub fn current_detection(&self) -> PublishedDetection {
         self.shared.read().clone()
+    }
+
+    /// Current ingest/processing counters (no member-list clone).
+    pub fn stats(&self) -> ServiceStats {
+        let det = self.shared.read();
+        ServiceStats {
+            queue_depth: self.sender.len(),
+            updates_applied: det.updates_applied,
+            flushes: self.telemetry.flushes.load(Ordering::Relaxed),
+            publishes: self.telemetry.publishes.load(Ordering::Relaxed),
+            detection_size: det.size,
+            detection_density: det.density,
+        }
     }
 
     /// Signals shutdown, waits for the worker to drain the queue, and
@@ -105,15 +178,19 @@ impl Drop for SpadeService {
     }
 }
 
+/// The detector worker: consumes [`Command`]s until shutdown, publishing
+/// every new detection into `shared`. Every [`SpadeService`] runs one of
+/// these — including the N services the sharded runtime wraps.
 fn worker_loop<M: DensityMetric>(
     mut engine: SpadeEngine<M>,
     grouping: Option<GroupingConfig>,
     receiver: Receiver<Command>,
     shared: Arc<RwLock<PublishedDetection>>,
+    telemetry: Arc<WorkerTelemetry>,
 ) {
     let mut grouper = grouping.map(EdgeGrouper::new);
     let mut updates: u64 = 0;
-    publish(&mut engine, &shared, updates);
+    publish(&mut engine, &shared, updates, &telemetry);
     while let Ok(cmd) = receiver.recv() {
         match cmd {
             Command::Insert { src, dst, raw } => {
@@ -126,29 +203,40 @@ fn worker_loop<M: DensityMetric>(
                     None => engine.insert_edge(src, dst, raw).ok(),
                 };
                 if outcome.is_some() {
-                    publish(&mut engine, &shared, updates);
+                    publish(&mut engine, &shared, updates, &telemetry);
                 }
             }
             Command::Flush => {
                 if let Some(g) = grouper.as_mut() {
                     let _ = g.flush(&mut engine);
                 }
-                publish(&mut engine, &shared, updates);
+                publish(&mut engine, &shared, updates, &telemetry);
             }
             Command::Shutdown => break,
         }
+        sync_flush_count(&grouper, &telemetry);
     }
     // Final drain so the last published state reflects every submission.
     if let Some(g) = grouper.as_mut() {
         let _ = g.flush(&mut engine);
     }
-    publish(&mut engine, &shared, updates);
+    sync_flush_count(&grouper, &telemetry);
+    publish(&mut engine, &shared, updates, &telemetry);
+}
+
+/// Mirrors the grouper's own flush counter into the exported telemetry —
+/// the grouper is the single source of truth for what counts as a flush.
+fn sync_flush_count(grouper: &Option<EdgeGrouper>, telemetry: &WorkerTelemetry) {
+    if let Some(g) = grouper.as_ref() {
+        telemetry.flushes.store(g.stats().flushes as u64, Ordering::Relaxed);
+    }
 }
 
 fn publish<M: DensityMetric>(
     engine: &mut SpadeEngine<M>,
     shared: &RwLock<PublishedDetection>,
     updates: u64,
+    telemetry: &WorkerTelemetry,
 ) {
     let det: Detection = engine.detect();
     let members = engine.community(det).to_vec();
@@ -158,6 +246,7 @@ fn publish<M: DensityMetric>(
         members,
         updates_applied: updates,
     };
+    telemetry.publishes.fetch_add(1, Ordering::Relaxed);
 }
 
 #[cfg(test)]
@@ -248,5 +337,30 @@ mod tests {
         let service = SpadeService::spawn(engine, None, 8);
         service.submit(v(0), v(1), 1.0);
         drop(service); // must not hang or panic
+    }
+
+    #[test]
+    fn stats_count_flushes_and_publishes() {
+        let mut engine = SpadeEngine::new(WeightedDensity);
+        for a in 0..3u32 {
+            for b in 0..3u32 {
+                if a != b {
+                    engine.insert_edge(v(a), v(b), 20.0).unwrap();
+                }
+            }
+        }
+        let service = SpadeService::spawn(engine, Some(GroupingConfig::default()), 16);
+        service.submit(v(10), v(11), 0.01); // benign: buffered
+        service.flush();
+        for _ in 0..100 {
+            if service.stats().flushes >= 1 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(5));
+        }
+        let stats = service.stats();
+        assert!(stats.flushes >= 1);
+        assert!(stats.publishes >= 1);
+        drop(service);
     }
 }

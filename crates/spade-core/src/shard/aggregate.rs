@@ -1,0 +1,114 @@
+//! Merging per-shard detections into one global view.
+//!
+//! Each shard publishes its local [`PublishedDetection`] independently;
+//! the aggregator folds those snapshots into a global answer — densest
+//! community wins, exactly the rule a single engine applies across its
+//! own candidate prefixes — plus a per-shard ranking for moderators who
+//! drill down ("which shard is hot right now?").
+
+use crate::service::PublishedDetection;
+
+/// One shard's entry in the ranked view.
+#[derive(Clone, Debug)]
+pub struct ShardDetection {
+    /// Shard index.
+    pub shard: usize,
+    /// That shard's current detection.
+    pub detection: PublishedDetection,
+}
+
+/// The merged, cluster-wide detection state.
+#[derive(Clone, Debug, Default)]
+pub struct GlobalDetection {
+    /// Index of the shard holding the densest community.
+    pub best_shard: usize,
+    /// The densest community across shards. Deliberately duplicates
+    /// `top[0].detection` (including one extra member-list clone per
+    /// merge) so the common "what's the answer" read needs no index
+    /// gymnastics; high-frequency pollers that only need counters
+    /// should use `ShardedSpadeService::stats` instead, which clones
+    /// nothing.
+    pub best: PublishedDetection,
+    /// Top-k shards ranked by detection density (descending; ties break
+    /// toward the lower shard index).
+    pub top: Vec<ShardDetection>,
+    /// Total updates applied across all shards at snapshot time.
+    pub total_updates: u64,
+}
+
+/// Folds per-shard snapshots into a [`GlobalDetection`].
+#[derive(Clone, Copy, Debug)]
+pub struct DetectionAggregator {
+    /// Number of ranked entries kept in [`GlobalDetection::top`].
+    pub top_k: usize,
+}
+
+impl Default for DetectionAggregator {
+    fn default() -> Self {
+        DetectionAggregator { top_k: 4 }
+    }
+}
+
+impl DetectionAggregator {
+    /// Creates an aggregator keeping `top_k` ranked shard entries.
+    pub fn new(top_k: usize) -> Self {
+        DetectionAggregator { top_k }
+    }
+
+    /// Merges one snapshot per shard (indexed by position).
+    pub fn merge(&self, snapshots: Vec<PublishedDetection>) -> GlobalDetection {
+        let total_updates = snapshots.iter().map(|d| d.updates_applied).sum();
+        let mut ranked: Vec<ShardDetection> = snapshots
+            .into_iter()
+            .enumerate()
+            .map(|(shard, detection)| ShardDetection { shard, detection })
+            .collect();
+        // Densest first; ties toward the lower shard id for determinism.
+        ranked.sort_by(|a, b| {
+            b.detection.density.total_cmp(&a.detection.density).then_with(|| a.shard.cmp(&b.shard))
+        });
+        let (best_shard, best) = ranked
+            .first()
+            .map(|s| (s.shard, s.detection.clone()))
+            .unwrap_or((0, PublishedDetection::default()));
+        ranked.truncate(self.top_k);
+        GlobalDetection { best_shard, best, top: ranked, total_updates }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det(size: usize, density: f64, updates: u64) -> PublishedDetection {
+        PublishedDetection { size, density, members: Vec::new(), updates_applied: updates }
+    }
+
+    #[test]
+    fn densest_shard_wins() {
+        let agg = DetectionAggregator::new(2);
+        let global = agg.merge(vec![det(3, 5.0, 10), det(4, 9.0, 20), det(2, 1.0, 5)]);
+        assert_eq!(global.best_shard, 1);
+        assert_eq!(global.best.size, 4);
+        assert_eq!(global.total_updates, 35);
+        assert_eq!(global.top.len(), 2);
+        assert_eq!(global.top[0].shard, 1);
+        assert_eq!(global.top[1].shard, 0);
+    }
+
+    #[test]
+    fn density_ties_break_to_lower_shard() {
+        let agg = DetectionAggregator::default();
+        let global = agg.merge(vec![det(3, 7.0, 1), det(3, 7.0, 1)]);
+        assert_eq!(global.best_shard, 0);
+    }
+
+    #[test]
+    fn empty_cluster_merges_to_default() {
+        let agg = DetectionAggregator::default();
+        let global = agg.merge(Vec::new());
+        assert_eq!(global.best.size, 0);
+        assert_eq!(global.total_updates, 0);
+        assert!(global.top.is_empty());
+    }
+}

@@ -1,0 +1,33 @@
+//! Sharded parallel detection runtime.
+//!
+//! The paper's Spade engine is a single-stream system: one engine, one
+//! peeling order, one worker thread. Its incremental reordering, however,
+//! is *local to a community* (§4.2 — an update perturbs only the window
+//! between its endpoints), which means the transaction graph partitions
+//! naturally: route each community's edges to one of N parallel engines
+//! and every shard maintains an exact Spade detection over its slice of
+//! the graph, while ingest throughput scales with cores. A shard's slice
+//! equals the whole community when the community's component keeps a
+//! single home (the common case for fraud bursts on fresh accounts);
+//! communities assembled by merging separately-homed components, or
+//! living inside a spilled giant component, are split across shards and
+//! their density diluted — see [`partition`] for the exact rules. This is the same
+//! path related stream-processing fraud systems take (partitioned
+//! detectors over a keyed stream); here it is a first-class subsystem:
+//!
+//! * [`partition`] — the [`Partitioner`](partition::Partitioner) trait
+//!   with hash-by-source and connectivity-aware (union-find with spill)
+//!   policies;
+//! * [`service`] — [`ShardedSpadeService`](service::ShardedSpadeService),
+//!   N worker engines behind bounded queues reusing the single-service
+//!   worker loop;
+//! * [`aggregate`] — merging per-shard snapshots into a global
+//!   densest-community view with per-shard statistics.
+
+pub mod aggregate;
+pub mod partition;
+pub mod service;
+
+pub use aggregate::{DetectionAggregator, GlobalDetection, ShardDetection};
+pub use partition::{ConnectivityPartitioner, HashPartitioner, PartitionStrategy, Partitioner};
+pub use service::{ShardStats, ShardedConfig, ShardedSpadeService};

@@ -1,0 +1,359 @@
+//! Edge-to-shard routing policies.
+//!
+//! Spade's incremental reordering is local to a community (§4.2: an
+//! insertion only perturbs the window between its endpoints), so the
+//! transaction graph shards naturally — as long as a community's edges
+//! land on the same shard, that shard's local detection is the global one.
+//! Two built-in policies trade off balance against community locality:
+//!
+//! * [`HashPartitioner`] — stateless `fx`-hash of the source vertex.
+//!   Perfectly balanced and O(1), but a community whose members span
+//!   hash buckets is split across shards and its density diluted.
+//! * [`ConnectivityPartitioner`] — a union-find over every edge seen so
+//!   far. Each connected component is pinned to a *home shard* (chosen
+//!   least-loaded at component birth), so observed communities stay
+//!   co-resident. When a component outgrows `max_component` vertices —
+//!   the giant component of any real transaction graph — its edges
+//!   *spill* to hash routing, bounding the load any single shard can
+//!   attract while fraud-sized components stay pinned.
+
+use spade_graph::hash::FxHasher;
+use spade_graph::VertexId;
+use std::hash::Hasher;
+
+/// Routes one edge to a shard in `[0, num_shards)`.
+///
+/// `route` takes `&mut self`: stateful partitioners (union-find) learn
+/// the graph as it streams. Implementations must be deterministic per
+/// input history — replaying a stream must reproduce the same routing.
+pub trait Partitioner: Send {
+    /// The shard that must process edge `(src, dst)`.
+    fn route(&mut self, src: VertexId, dst: VertexId, num_shards: usize) -> usize;
+
+    /// Policy name for reports.
+    fn name(&self) -> &'static str {
+        "custom"
+    }
+}
+
+/// Built-in routing policies, as configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum PartitionStrategy {
+    /// Stateless hash of the source vertex id.
+    HashBySource,
+    /// Union-find community co-residency with spill to hash for
+    /// components larger than `max_component` vertices.
+    #[default]
+    Connectivity,
+    /// [`PartitionStrategy::Connectivity`] with an explicit spill bound.
+    ConnectivityWithSpill {
+        /// Component size (vertices) above which edges spill to hash.
+        max_component: usize,
+    },
+}
+
+impl PartitionStrategy {
+    /// Default spill bound: components larger than this are treated as
+    /// the benign giant component and hash-routed. Fraud communities in
+    /// the paper's case studies are orders of magnitude smaller.
+    pub const DEFAULT_MAX_COMPONENT: usize = 4096;
+
+    /// Materializes the policy.
+    pub fn build(self) -> Box<dyn Partitioner> {
+        match self {
+            PartitionStrategy::HashBySource => Box::new(HashPartitioner),
+            PartitionStrategy::Connectivity => {
+                Box::new(ConnectivityPartitioner::new(PartitionStrategy::DEFAULT_MAX_COMPONENT))
+            }
+            PartitionStrategy::ConnectivityWithSpill { max_component } => {
+                Box::new(ConnectivityPartitioner::new(max_component))
+            }
+        }
+    }
+
+    /// Parses a CLI name (`hash` | `connectivity`).
+    pub fn from_name(name: &str) -> Option<PartitionStrategy> {
+        match name.to_ascii_lowercase().as_str() {
+            "hash" => Some(PartitionStrategy::HashBySource),
+            "connectivity" | "conn" => Some(PartitionStrategy::Connectivity),
+            _ => None,
+        }
+    }
+}
+
+#[inline]
+fn hash_shard(v: VertexId, num_shards: usize) -> usize {
+    let mut h = FxHasher::default();
+    h.write_u32(v.0);
+    (h.finish() % num_shards as u64) as usize
+}
+
+/// Stateless hash-by-source routing.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HashPartitioner;
+
+impl Partitioner for HashPartitioner {
+    #[inline]
+    fn route(&mut self, src: VertexId, _dst: VertexId, num_shards: usize) -> usize {
+        hash_shard(src, num_shards)
+    }
+
+    fn name(&self) -> &'static str {
+        "hash"
+    }
+}
+
+/// Union-find over seen edges keeping components shard-resident.
+///
+/// Routing is forward-only: edges already delivered to a shard are never
+/// migrated. When two components that *each* already have a home merge,
+/// one home survives (the larger component's) and all future edges
+/// follow it — the smaller side's earlier edges stay stranded on its old
+/// shard, so a community assembled by such a merge is split across two
+/// shards until a rebalancing pass exists (ROADMAP: cross-shard
+/// rebalancing). Components born from a single seed edge — the shape of
+/// the paper's fraud bursts, which allocate fresh accounts — always keep
+/// one home and are detected exactly.
+#[derive(Clone, Debug)]
+pub struct ConnectivityPartitioner {
+    /// Union-find parent, dense by vertex id (`u32::MAX` = singleton not
+    /// yet materialized is impossible: ids materialize on first sight).
+    parent: Vec<u32>,
+    /// Component vertex count, valid at roots.
+    size: Vec<u32>,
+    /// Home shard per component, valid at roots (`usize::MAX` = none).
+    home: Vec<usize>,
+    /// Edges routed per shard so far (least-loaded assignment for new
+    /// components).
+    load: Vec<u64>,
+    /// Spill bound: components larger than this hash-route their edges.
+    max_component: usize,
+}
+
+const NO_HOME: usize = usize::MAX;
+
+impl ConnectivityPartitioner {
+    /// Creates the partitioner with the given spill bound (0 = never
+    /// pin; every edge hash-routes).
+    pub fn new(max_component: usize) -> Self {
+        ConnectivityPartitioner {
+            parent: Vec::new(),
+            size: Vec::new(),
+            home: Vec::new(),
+            load: Vec::new(),
+            max_component,
+        }
+    }
+
+    fn ensure(&mut self, v: VertexId) {
+        let idx = v.index();
+        if idx >= self.parent.len() {
+            let old = self.parent.len();
+            self.parent.extend(old as u32..=idx as u32);
+            self.size.resize(idx + 1, 1);
+            self.home.resize(idx + 1, NO_HOME);
+        }
+    }
+
+    fn find(&mut self, v: u32) -> u32 {
+        let mut root = v;
+        while self.parent[root as usize] != root {
+            root = self.parent[root as usize];
+        }
+        // Path compression.
+        let mut cur = v;
+        while self.parent[cur as usize] != root {
+            let next = self.parent[cur as usize];
+            self.parent[cur as usize] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Current component size of `v`'s component (test/introspection).
+    pub fn component_size(&mut self, v: VertexId) -> usize {
+        if v.index() >= self.parent.len() {
+            return 0;
+        }
+        let root = self.find(v.0);
+        self.size[root as usize] as usize
+    }
+}
+
+impl Partitioner for ConnectivityPartitioner {
+    fn route(&mut self, src: VertexId, dst: VertexId, num_shards: usize) -> usize {
+        if self.load.len() < num_shards {
+            self.load.resize(num_shards, 0);
+        }
+        self.ensure(src);
+        self.ensure(dst);
+        let ra = self.find(src.0);
+        let rb = self.find(dst.0);
+
+        // Union by size. The surviving (larger) root keeps its home when
+        // it has one — so when both sides are homed, the larger
+        // component's home wins and the smaller side's earlier edges
+        // stay stranded on its old shard; only when the larger side is
+        // home-less does it inherit the smaller side's home. Biasing
+        // toward the larger component strands fewer already-routed
+        // edges.
+        let root = if ra == rb {
+            ra
+        } else {
+            let (big, small) =
+                if self.size[ra as usize] >= self.size[rb as usize] { (ra, rb) } else { (rb, ra) };
+            self.parent[small as usize] = big;
+            self.size[big as usize] += self.size[small as usize];
+            if self.home[big as usize] == NO_HOME {
+                self.home[big as usize] = self.home[small as usize];
+            }
+            big
+        };
+
+        let shard =
+            if self.max_component > 0 && self.size[root as usize] as usize <= self.max_component {
+                if self.home[root as usize] == NO_HOME {
+                    // Component birth: pin to the least-loaded shard.
+                    let least = self
+                        .load
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, &l)| l)
+                        .map(|(s, _)| s)
+                        .unwrap_or(0);
+                    self.home[root as usize] = least;
+                    least
+                } else {
+                    self.home[root as usize]
+                }
+            } else {
+                // Spill: the component outgrew a shard; route by source hash.
+                hash_shard(src, num_shards)
+            };
+        self.load[shard] += 1;
+        shard
+    }
+
+    fn name(&self) -> &'static str {
+        "connectivity"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    #[test]
+    fn hash_routing_is_deterministic_and_in_range() {
+        let mut p = HashPartitioner;
+        for i in 0..100u32 {
+            let a = p.route(v(i), v(i + 1), 8);
+            let b = p.route(v(i), v(i + 7), 8);
+            assert_eq!(a, b, "route depends only on the source");
+            assert!(a < 8);
+        }
+    }
+
+    #[test]
+    fn hash_routing_spreads_sources() {
+        let mut p = HashPartitioner;
+        let mut counts = [0usize; 4];
+        for i in 0..4000u32 {
+            counts[p.route(v(i), v(0), 4)] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 500, "a shard starved: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn connected_component_stays_on_one_shard() {
+        let mut p = ConnectivityPartitioner::new(1000);
+        // A ring over 50..54 interleaved with unrelated noise edges.
+        let first = p.route(v(50), v(51), 4);
+        let mut noise_routes = Vec::new();
+        for i in 0..10u32 {
+            noise_routes.push(p.route(v(i), v(i + 1), 4));
+        }
+        for a in 50..54u32 {
+            for b in 50..54u32 {
+                if a != b {
+                    assert_eq!(p.route(v(a), v(b), 4), first, "ring split across shards");
+                }
+            }
+        }
+        assert_eq!(p.component_size(v(52)), 4);
+    }
+
+    #[test]
+    fn new_components_pick_least_loaded_shard() {
+        let mut p = ConnectivityPartitioner::new(1000);
+        let mut seen = std::collections::HashSet::new();
+        // 8 disjoint pairs over 4 shards: loads must stay balanced, so all
+        // 4 shards get used.
+        for i in 0..8u32 {
+            seen.insert(p.route(v(i * 2), v(i * 2 + 1), 4));
+        }
+        assert_eq!(seen.len(), 4, "least-loaded assignment must rotate shards");
+    }
+
+    #[test]
+    fn merged_components_keep_the_larger_sides_home() {
+        let mut p = ConnectivityPartitioner::new(1000);
+        let home_a = p.route(v(0), v(1), 4);
+        let _home_b = p.route(v(10), v(11), 4);
+        // Equal sizes: the first (src-side) root survives and keeps its
+        // home; subsequent edges of both sides follow it.
+        let bridged = p.route(v(1), v(10), 4);
+        assert_eq!(bridged, home_a);
+        assert_eq!(bridged, p.route(v(11), v(0), 4));
+
+        // Unequal sizes: the larger component's home wins even when the
+        // smaller one was homed first.
+        let mut p = ConnectivityPartitioner::new(1000);
+        let _small_home = p.route(v(0), v(1), 4); // size-2 component, homed first
+        let big_home = p.route(v(20), v(21), 4);
+        p.route(v(21), v(22), 4);
+        p.route(v(22), v(23), 4); // size-4 component
+        let merged = p.route(v(0), v(20), 4);
+        assert_eq!(merged, big_home);
+        assert_eq!(merged, p.route(v(1), v(23), 4));
+    }
+
+    #[test]
+    fn oversized_components_spill_to_hash() {
+        let mut p = ConnectivityPartitioner::new(4);
+        // Build a star of 6 vertices: component exceeds max_component=4.
+        for i in 1..6u32 {
+            p.route(v(0), v(i), 4);
+        }
+        assert!(p.component_size(v(0)) > 4);
+        let mut h = HashPartitioner;
+        // Post-spill edges route exactly as the hash policy would.
+        assert_eq!(p.route(v(0), v(6), 4), h.route(v(0), v(6), 4));
+        assert_eq!(p.route(v(3), v(7), 4), h.route(v(3), v(7), 4));
+    }
+
+    #[test]
+    fn zero_spill_bound_degenerates_to_hash() {
+        let mut p = ConnectivityPartitioner::new(0);
+        let mut h = HashPartitioner;
+        for i in 0..50u32 {
+            assert_eq!(p.route(v(i), v(i + 1), 8), h.route(v(i), v(i + 1), 8));
+        }
+    }
+
+    #[test]
+    fn strategy_parsing() {
+        assert_eq!(PartitionStrategy::from_name("hash"), Some(PartitionStrategy::HashBySource));
+        assert_eq!(
+            PartitionStrategy::from_name("Connectivity"),
+            Some(PartitionStrategy::Connectivity)
+        );
+        assert_eq!(PartitionStrategy::from_name("bogus"), None);
+    }
+}

@@ -1,0 +1,329 @@
+//! The sharded parallel detection runtime.
+//!
+//! [`ShardedSpadeService`] fans the single-engine worker loop of
+//! [`crate::service`] out across N shards: a [`Partitioner`] routes each
+//! arriving transaction to one shard, every shard runs a full
+//! [`SpadeEngine`] (plus optional §4.3 edge grouping) behind its own
+//! bounded ingest queue on its own thread, and a [`DetectionAggregator`]
+//! merges the per-shard snapshots into a global densest-community view on
+//! every read.
+//!
+//! With the connectivity partitioner (the default), a community whose
+//! component is born and stays on one home shard has all of its edges
+//! co-resident, so that shard detects exactly what a single engine over
+//! the whole stream would — while benign traffic spreads across all
+//! cores. Exactness is *per component home*: edges routed before two
+//! already-homed components merge stay on their original shards (no
+//! migration — see `shard::partition`), and components that outgrow the
+//! spill bound hash-spread. Shutdown fans out: every queue is drained,
+//! every grouper flushed, every worker joined, and the final aggregate
+//! reflects every submitted transaction.
+
+use crate::engine::SpadeEngine;
+use crate::grouping::GroupingConfig;
+use crate::metric::DensityMetric;
+use crate::service::{PublishedDetection, ServiceStats, SpadeService};
+use crate::shard::aggregate::{DetectionAggregator, GlobalDetection};
+use crate::shard::partition::{HashPartitioner, PartitionStrategy, Partitioner};
+use parking_lot::Mutex;
+use spade_graph::VertexId;
+
+/// Configuration of the sharded runtime.
+#[derive(Clone, Copy, Debug)]
+pub struct ShardedConfig {
+    /// Number of worker shards (engines/threads). Minimum 1.
+    pub shards: usize,
+    /// Per-shard ingest queue bound (back-pressure per shard).
+    pub queue_capacity: usize,
+    /// Edge-grouping configuration applied inside every shard.
+    pub grouping: Option<GroupingConfig>,
+    /// Edge-to-shard routing policy.
+    pub strategy: PartitionStrategy,
+    /// Ranked shard entries kept in each [`GlobalDetection`].
+    pub top_k: usize,
+}
+
+impl Default for ShardedConfig {
+    fn default() -> Self {
+        ShardedConfig {
+            shards: std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(8),
+            queue_capacity: 1024,
+            grouping: None,
+            strategy: PartitionStrategy::default(),
+            top_k: 4,
+        }
+    }
+}
+
+impl ShardedConfig {
+    /// A config with `shards` workers and defaults elsewhere.
+    pub fn with_shards(shards: usize) -> Self {
+        ShardedConfig { shards: shards.max(1), ..Default::default() }
+    }
+}
+
+/// Point-in-time statistics of one shard: the shard index plus its
+/// worker's [`ServiceStats`] (queue depth, counters, detection
+/// descriptor).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// The shard worker's service statistics.
+    pub service: ServiceStats,
+}
+
+/// Handle to a running sharded detection runtime. Each shard is a full
+/// [`SpadeService`] (engine + bounded queue + worker thread); this type
+/// adds routing and aggregation on top.
+pub struct ShardedSpadeService {
+    shards: Vec<SpadeService>,
+    router: Router,
+    aggregator: DetectionAggregator,
+}
+
+/// The routing fast path: stateless policies route lock-free; stateful
+/// ones (union-find) serialize behind a mutex.
+enum Router {
+    /// Lock-free hash-by-source.
+    Hash(HashPartitioner),
+    /// Any stateful [`Partitioner`].
+    Locked(Mutex<Box<dyn Partitioner>>),
+}
+
+impl Router {
+    fn new(strategy: PartitionStrategy) -> Self {
+        match strategy {
+            PartitionStrategy::HashBySource => Router::Hash(HashPartitioner),
+            other => Router::Locked(Mutex::new(other.build())),
+        }
+    }
+
+    #[inline]
+    fn route(&self, src: VertexId, dst: VertexId, num_shards: usize) -> usize {
+        match self {
+            // `HashPartitioner::route` takes `&mut self` to satisfy the
+            // trait but touches no state; a copy keeps this lock-free.
+            Router::Hash(p) => {
+                let mut p = *p;
+                p.route(src, dst, num_shards)
+            }
+            Router::Locked(p) => p.lock().route(src, dst, num_shards),
+        }
+    }
+}
+
+impl ShardedSpadeService {
+    /// Spawns `config.shards` worker engines built by `factory` (called
+    /// once per shard index — use it to pre-bootstrap shards from
+    /// snapshots or to vary per-shard configuration).
+    pub fn spawn_with<M, F>(config: ShardedConfig, mut factory: F) -> Self
+    where
+        M: DensityMetric + Send + 'static,
+        F: FnMut(usize) -> SpadeEngine<M>,
+    {
+        let num_shards = config.shards.max(1);
+        let mut shards = Vec::with_capacity(num_shards);
+        for shard in 0..num_shards {
+            shards.push(SpadeService::spawn_named(
+                factory(shard),
+                config.grouping,
+                config.queue_capacity,
+                format!("spade-shard-{shard}"),
+            ));
+        }
+        ShardedSpadeService {
+            shards,
+            router: Router::new(config.strategy),
+            aggregator: DetectionAggregator::new(config.top_k.max(1)),
+        }
+    }
+
+    /// Spawns the runtime with one empty engine per shard sharing the
+    /// given metric.
+    pub fn spawn<M>(metric: M, config: ShardedConfig) -> Self
+    where
+        M: DensityMetric + Clone + Send + 'static,
+    {
+        Self::spawn_with(config, |_| SpadeEngine::new(metric.clone()))
+    }
+
+    /// Number of worker shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Routes one transaction to its shard and enqueues it; blocks when
+    /// that shard's queue is full (per-shard back-pressure). Returns
+    /// `false` if the runtime has shut down.
+    pub fn submit(&self, src: VertexId, dst: VertexId, raw: f64) -> bool {
+        let shard = self.router.route(src, dst, self.shards.len());
+        self.shards[shard].submit(src, dst, raw)
+    }
+
+    /// Asks every shard to flush buffered benign edges. Returns `false`
+    /// if any shard has shut down.
+    pub fn flush(&self) -> bool {
+        self.shards.iter().all(|s| s.flush())
+    }
+
+    /// The merged global detection across all shards (densest community
+    /// wins), computed from each shard's latest snapshot.
+    pub fn current_detection(&self) -> GlobalDetection {
+        self.aggregator.merge(self.shards.iter().map(|s| s.current_detection()).collect())
+    }
+
+    /// One shard's latest published detection.
+    pub fn shard_detection(&self, shard: usize) -> PublishedDetection {
+        self.shards[shard].current_detection()
+    }
+
+    /// Per-shard statistics: queue depth, updates applied, flush and
+    /// publish counts, current detection descriptor.
+    pub fn stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(shard, s)| ShardStats { shard, service: s.stats() })
+            .collect()
+    }
+
+    /// Shuts every shard down in turn, waiting for each queue to drain
+    /// and each worker to exit, and returns the final merged detection —
+    /// it reflects every transaction ever submitted. (Workers keep
+    /// draining their own queues concurrently while earlier shards are
+    /// joined, so the total wait is governed by the slowest shard.)
+    pub fn shutdown(mut self) -> GlobalDetection {
+        let snapshots: Vec<PublishedDetection> =
+            self.shards.drain(..).map(SpadeService::shutdown).collect();
+        self.aggregator.merge(snapshots)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metric::WeightedDensity;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    /// Noise path + a dense ring, mirroring the single-service test.
+    fn feed_ring(service: &ShardedSpadeService) -> u64 {
+        let mut submitted = 0;
+        for i in 0..10u32 {
+            assert!(service.submit(v(i), v(i + 1), 1.0));
+            submitted += 1;
+        }
+        for a in 50..54u32 {
+            for b in 50..54u32 {
+                if a != b {
+                    assert!(service.submit(v(a), v(b), 25.0));
+                    submitted += 1;
+                }
+            }
+        }
+        submitted
+    }
+
+    #[test]
+    fn sharded_runtime_detects_the_ring() {
+        let service = ShardedSpadeService::spawn(WeightedDensity, ShardedConfig::with_shards(4));
+        assert_eq!(service.num_shards(), 4);
+        let submitted = feed_ring(&service);
+        let global = service.shutdown();
+        assert!(global.best.density > 10.0);
+        assert!(global.best.members.iter().all(|m| (50..54).contains(&m.0)));
+        assert_eq!(global.total_updates, submitted);
+    }
+
+    #[test]
+    fn one_shard_equals_the_single_service() {
+        let sharded = ShardedSpadeService::spawn(WeightedDensity, ShardedConfig::with_shards(1));
+        feed_ring(&sharded);
+        let global = sharded.shutdown();
+
+        let single =
+            crate::service::SpadeService::spawn(SpadeEngine::new(WeightedDensity), None, 64);
+        for i in 0..10u32 {
+            single.submit(v(i), v(i + 1), 1.0);
+        }
+        for a in 50..54u32 {
+            for b in 50..54u32 {
+                if a != b {
+                    single.submit(v(a), v(b), 25.0);
+                }
+            }
+        }
+        let want = single.shutdown();
+        assert_eq!(global.best.size, want.size);
+        assert!((global.best.density - want.density).abs() < 1e-12);
+        assert_eq!(global.best.members, want.members);
+    }
+
+    #[test]
+    fn per_shard_stats_cover_all_submissions() {
+        let service = ShardedSpadeService::spawn(WeightedDensity, ShardedConfig::with_shards(3));
+        let submitted = feed_ring(&service);
+        // Drain deterministically before reading stats.
+        let global = service.current_detection();
+        let _ = global;
+        let final_global = {
+            let stats_before = service.stats();
+            assert_eq!(stats_before.len(), 3);
+            service.shutdown()
+        };
+        assert_eq!(final_global.total_updates, submitted);
+    }
+
+    #[test]
+    fn grouped_shards_flush_on_shutdown() {
+        let config = ShardedConfig {
+            shards: 2,
+            grouping: Some(GroupingConfig::default()),
+            ..Default::default()
+        };
+        let service = ShardedSpadeService::spawn_with(config, |_| {
+            // Pre-established community so benign traffic buffers.
+            let mut engine = SpadeEngine::new(WeightedDensity);
+            for a in 100..103u32 {
+                for b in 100..103u32 {
+                    if a != b {
+                        engine.insert_edge(v(a), v(b), 20.0).unwrap();
+                    }
+                }
+            }
+            engine
+        });
+        // Benign edges: buffered inside their shard until shutdown drains.
+        for i in 0..6u32 {
+            assert!(service.submit(v(i), v(i + 1), 0.01));
+        }
+        let global = service.shutdown();
+        assert_eq!(global.total_updates, 6);
+        assert!(global.best.size >= 3);
+    }
+
+    #[test]
+    fn drop_joins_all_workers() {
+        let service = ShardedSpadeService::spawn(WeightedDensity, ShardedConfig::with_shards(4));
+        feed_ring(&service);
+        drop(service); // must not hang or panic
+    }
+
+    #[test]
+    fn top_ranking_orders_by_density() {
+        let service = ShardedSpadeService::spawn(
+            WeightedDensity,
+            ShardedConfig { shards: 3, top_k: 3, ..Default::default() },
+        );
+        feed_ring(&service);
+        let global = service.shutdown();
+        assert!(!global.top.is_empty());
+        for pair in global.top.windows(2) {
+            assert!(pair[0].detection.density >= pair[1].detection.density, "ranking out of order");
+        }
+        assert_eq!(global.top[0].shard, global.best_shard);
+    }
+}

@@ -281,16 +281,9 @@ mod tests {
 
     #[test]
     fn load_records_bootstraps_then_streams() {
-        let records = vec![
-            (v(0), v(1), 2.0),
-            (v(1), v(2), 2.0),
-            (v(2), v(0), 2.0),
-        ];
-        let mut spade = SpadeBuilder::new()
-            .name("DW")
-            .esusp(|_, _, raw, _| raw)
-            .load_records(records)
-            .unwrap();
+        let records = vec![(v(0), v(1), 2.0), (v(1), v(2), 2.0), (v(2), v(0), 2.0)];
+        let mut spade =
+            SpadeBuilder::new().name("DW").esusp(|_, _, raw, _| raw).load_records(records).unwrap();
         let before = spade.detection().unwrap();
         spade.insert_edge(v(3), v(0), 50.0).unwrap();
         let after = spade.detection().unwrap();
@@ -303,10 +296,7 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("graph.txt");
         std::fs::write(&path, "a b 3.0\nb c 2.0\nc a 4.0\n").unwrap();
-        let mut spade = SpadeBuilder::new()
-            .esusp(|_, _, raw, _| raw)
-            .load_graph(&path)
-            .unwrap();
+        let mut spade = SpadeBuilder::new().esusp(|_, _, raw, _| raw).load_graph(&path).unwrap();
         let det = spade.detection().unwrap();
         assert_eq!(det.size, 3);
         assert!((det.density - 3.0).abs() < 1e-9);

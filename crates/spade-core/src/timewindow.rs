@@ -64,12 +64,7 @@ impl TimeWindowDetector {
     /// ties keep input order). Starts with an empty window.
     pub fn new(mut records: Vec<WindowRecord>) -> Self {
         records.sort_by_key(|r| r.ts);
-        TimeWindowDetector {
-            records,
-            engine: SpadeEngine::new(WeightedDensity),
-            lo: 0,
-            hi: 0,
-        }
+        TimeWindowDetector { records, engine: SpadeEngine::new(WeightedDensity), lo: 0, hi: 0 }
     }
 
     /// Number of records in the log.
@@ -84,7 +79,11 @@ impl TimeWindowDetector {
 
     /// Moves the window to `[ts, te)` (half-open in timestamps) and
     /// returns the detection plus which maintenance path ran.
-    pub fn detect_window(&mut self, ts: u64, te: u64) -> Result<(Detection, WindowMove), GraphError> {
+    pub fn detect_window(
+        &mut self,
+        ts: u64,
+        te: u64,
+    ) -> Result<(Detection, WindowMove), GraphError> {
         let new_lo = self.records.partition_point(|r| r.ts < ts);
         let new_hi = self.records.partition_point(|r| r.ts < te);
         let (new_lo, new_hi) = (new_lo, new_hi.max(new_lo));
@@ -187,8 +186,7 @@ mod tests {
 
     /// Oracle: bootstrap the window from scratch and compare.
     fn assert_matches_fresh(det: &TimeWindowDetector, ts: u64, te: u64, got: Detection) {
-        let recs: Vec<_> =
-            det.records.iter().filter(|r| r.ts >= ts && r.ts < te).collect();
+        let recs: Vec<_> = det.records.iter().filter(|r| r.ts >= ts && r.ts < te).collect();
         let fresh = SpadeEngine::bootstrap(
             WeightedDensity,
             SpadeConfig::default(),

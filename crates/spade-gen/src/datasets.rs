@@ -52,13 +52,55 @@ impl DatasetSpec {
     /// All seven Table 3 rows at paper scale.
     pub fn table3() -> Vec<DatasetSpec> {
         vec![
-            DatasetSpec { name: "Grab1", vertices: 3_991_000, edges: 10_000_000, kind: DatasetKind::Bipartite, exponent: 0.85 },
-            DatasetSpec { name: "Grab2", vertices: 4_805_000, edges: 15_000_000, kind: DatasetKind::Bipartite, exponent: 0.85 },
-            DatasetSpec { name: "Grab3", vertices: 5_433_000, edges: 20_000_000, kind: DatasetKind::Bipartite, exponent: 0.85 },
-            DatasetSpec { name: "Grab4", vertices: 6_023_000, edges: 25_000_000, kind: DatasetKind::Bipartite, exponent: 0.85 },
-            DatasetSpec { name: "Amazon", vertices: 28_000, edges: 28_000, kind: DatasetKind::Bipartite, exponent: 0.8 },
-            DatasetSpec { name: "Wiki-Vote", vertices: 16_000, edges: 103_000, kind: DatasetKind::Directed, exponent: 0.95 },
-            DatasetSpec { name: "Epinion", vertices: 264_000, edges: 841_000, kind: DatasetKind::Directed, exponent: 0.9 },
+            DatasetSpec {
+                name: "Grab1",
+                vertices: 3_991_000,
+                edges: 10_000_000,
+                kind: DatasetKind::Bipartite,
+                exponent: 0.85,
+            },
+            DatasetSpec {
+                name: "Grab2",
+                vertices: 4_805_000,
+                edges: 15_000_000,
+                kind: DatasetKind::Bipartite,
+                exponent: 0.85,
+            },
+            DatasetSpec {
+                name: "Grab3",
+                vertices: 5_433_000,
+                edges: 20_000_000,
+                kind: DatasetKind::Bipartite,
+                exponent: 0.85,
+            },
+            DatasetSpec {
+                name: "Grab4",
+                vertices: 6_023_000,
+                edges: 25_000_000,
+                kind: DatasetKind::Bipartite,
+                exponent: 0.85,
+            },
+            DatasetSpec {
+                name: "Amazon",
+                vertices: 28_000,
+                edges: 28_000,
+                kind: DatasetKind::Bipartite,
+                exponent: 0.8,
+            },
+            DatasetSpec {
+                name: "Wiki-Vote",
+                vertices: 16_000,
+                edges: 103_000,
+                kind: DatasetKind::Directed,
+                exponent: 0.95,
+            },
+            DatasetSpec {
+                name: "Epinion",
+                vertices: 264_000,
+                edges: 841_000,
+                kind: DatasetKind::Directed,
+                exponent: 0.9,
+            },
         ]
     }
 

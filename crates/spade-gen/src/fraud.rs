@@ -113,13 +113,29 @@ impl FraudInjector {
                 );
                 let info = match pattern {
                     FraudPattern::CustomerMerchantCollusion => Self::collusion(
-                        &mut rng, config, &mut edges, &mut next_id, instance_id, start,
+                        &mut rng,
+                        config,
+                        &mut edges,
+                        &mut next_id,
+                        instance_id,
+                        start,
                     ),
                     FraudPattern::DealHunter => Self::deal_hunter(
-                        &mut rng, config, base, &mut edges, &mut next_id, instance_id, start,
+                        &mut rng,
+                        config,
+                        base,
+                        &mut edges,
+                        &mut next_id,
+                        instance_id,
+                        start,
                     ),
                     FraudPattern::ClickFarming => Self::click_farming(
-                        &mut rng, config, &mut edges, &mut next_id, instance_id, start,
+                        &mut rng,
+                        config,
+                        &mut edges,
+                        &mut next_id,
+                        instance_id,
+                        start,
                     ),
                 };
                 if config.camouflage_per_account > 0 {
@@ -167,11 +183,7 @@ impl FraudInjector {
         ids
     }
 
-    fn burst_times<R: Rng>(
-        rng: &mut R,
-        config: &FraudInjectorConfig,
-        start: u64,
-    ) -> Vec<u64> {
+    fn burst_times<R: Rng>(rng: &mut R, config: &FraudInjectorConfig, start: u64) -> Vec<u64> {
         let mut ts: Vec<u64> = (0..config.transactions_per_instance)
             .map(|_| start + rng.gen_range(0..config.burst_duration.max(1)))
             .collect();
@@ -189,10 +201,8 @@ impl FraudInjector {
         payees: &[VertexId],
         count: usize,
     ) -> Vec<(VertexId, VertexId)> {
-        let mut cells: Vec<(VertexId, VertexId)> = payers
-            .iter()
-            .flat_map(|&p| payees.iter().map(move |&m| (p, m)))
-            .collect();
+        let mut cells: Vec<(VertexId, VertexId)> =
+            payers.iter().flat_map(|&p| payees.iter().map(move |&m| (p, m))).collect();
         cells.shuffle(rng);
         let mut out = Vec::with_capacity(count);
         while out.len() < count {
@@ -247,14 +257,9 @@ impl FraudInjector {
         let side = (config.transactions_per_instance as f64 * 1.5).sqrt().ceil() as usize;
         let hunters = Self::alloc(next_id, side.max(2 * config.accounts_per_instance).max(2));
         // Victim merchants are existing, moderately popular ones.
-        let n_victims = config
-            .transactions_per_instance
-            .div_ceil(hunters.len())
-            .max(3);
+        let n_victims = config.transactions_per_instance.div_ceil(hunters.len()).max(3);
         let mut victims: Vec<VertexId> = (0..n_victims)
-            .map(|_| {
-                VertexId((base.customers + rng.gen_range(0..base.merchants.max(1))) as u32)
-            })
+            .map(|_| VertexId((base.customers + rng.gen_range(0..base.merchants.max(1))) as u32))
             .collect();
         victims.sort_unstable();
         victims.dedup();
@@ -450,8 +455,7 @@ mod tests {
             .iter()
             .find(|i| i.pattern == spade_core::stream::FraudPattern::CustomerMerchantCollusion)
             .unwrap();
-        let recall = collusion.members.iter().filter(|m| community.contains(&m.0)).count()
-            as f64
+        let recall = collusion.members.iter().filter(|m| community.contains(&m.0)).count() as f64
             / collusion.members.len() as f64;
         assert!(recall >= 0.8, "FD recall under camouflage {recall}");
     }

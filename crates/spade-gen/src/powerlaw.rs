@@ -28,7 +28,11 @@ impl ZipfSampler {
         let n = n as f64;
         let h_x1 = Self::h_integral(1.5, exponent) - 1.0;
         let h_n = Self::h_integral(n + 0.5, exponent);
-        let s = 2.0 - Self::h_integral_inverse(Self::h_integral(2.5, exponent) - Self::h(2.0, exponent), exponent);
+        let s = 2.0
+            - Self::h_integral_inverse(
+                Self::h_integral(2.5, exponent) - Self::h(2.0, exponent),
+                exponent,
+            );
         ZipfSampler { n, exponent, h_x1, h_n, s }
     }
 

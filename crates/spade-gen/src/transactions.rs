@@ -115,7 +115,10 @@ impl TransactionStream {
 
 /// Chunks increments into fixed-size batches, preserving timestamp order —
 /// the `|ΔE| = x` replay mode of Table 4.
-pub fn batches(increments: &[StreamEdge], batch_size: usize) -> impl Iterator<Item = &[StreamEdge]> {
+pub fn batches(
+    increments: &[StreamEdge],
+    batch_size: usize,
+) -> impl Iterator<Item = &[StreamEdge]> {
     assert!(batch_size > 0, "batch size must be positive");
     increments.chunks(batch_size)
 }

@@ -113,11 +113,8 @@ mod tests {
         assert!(e.to_string().contains("vertex 7"));
         assert!(e.to_string().contains("3 vertices"));
 
-        let e = GraphError::NonPositiveEdgeWeight {
-            src: VertexId(1),
-            dst: VertexId(2),
-            weight: 0.0,
-        };
+        let e =
+            GraphError::NonPositiveEdgeWeight { src: VertexId(1), dst: VertexId(2), weight: 0.0 };
         assert!(e.to_string().contains("c_ij > 0"));
 
         let e = GraphError::SelfLoop { vertex: VertexId(4) };

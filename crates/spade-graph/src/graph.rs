@@ -246,9 +246,7 @@ impl DynamicGraph {
     /// extension needs: one expired transaction leaves the rest of an
     /// accumulated edge in place.
     pub fn decrease_edge(&mut self, src: VertexId, dst: VertexId, amount: f64) -> Result<f64> {
-        let current = self
-            .edge_weight(src, dst)
-            .ok_or(GraphError::EdgeNotFound { src, dst })?;
+        let current = self.edge_weight(src, dst).ok_or(GraphError::EdgeNotFound { src, dst })?;
         if !amount.is_finite() || amount <= 0.0 {
             return Err(GraphError::NonPositiveEdgeWeight { src, dst, weight: amount });
         }
@@ -270,10 +268,7 @@ impl DynamicGraph {
         self.check_vertex(src)?;
         self.check_vertex(dst)?;
         let key = EdgeRef::new(src, dst).packed();
-        let slots = self
-            .edge_index
-            .remove(&key)
-            .ok_or(GraphError::EdgeNotFound { src, dst })?;
+        let slots = self.edge_index.remove(&key).ok_or(GraphError::EdgeNotFound { src, dst })?;
         let w = self.out_adj[src.index()][slots.out_pos as usize].w;
 
         // Swap-remove from the out-list of `src`, patching the displaced
@@ -325,10 +320,7 @@ impl DynamicGraph {
     /// directed edge — exactly the multiset Eq. 2 sums over.
     #[inline]
     pub fn neighbors(&self, u: VertexId) -> impl Iterator<Item = Neighbor> + '_ {
-        self.out_adj[u.index()]
-            .iter()
-            .chain(self.in_adj[u.index()].iter())
-            .copied()
+        self.out_adj[u.index()].iter().chain(self.in_adj[u.index()].iter()).copied()
     }
 
     /// Total degree (out + in) of `u`, counting accumulated edges once.
@@ -458,10 +450,7 @@ mod tests {
     #[test]
     fn negative_vertex_weight_rejected() {
         let mut g = DynamicGraph::new();
-        assert!(matches!(
-            g.add_vertex(-1.0),
-            Err(GraphError::NegativeVertexWeight { .. })
-        ));
+        assert!(matches!(g.add_vertex(-1.0), Err(GraphError::NegativeVertexWeight { .. })));
         let a = g.add_vertex(1.0).unwrap();
         assert!(g.set_vertex_weight(a, -0.5).is_err());
         assert!(g.add_vertex(f64::NAN).is_err());
@@ -581,10 +570,7 @@ mod tests {
         assert_eq!(g.incident_weight(v(1)), 4.0);
         assert_eq!(g.total_weight(), 7.0);
         g.check_invariants().unwrap();
-        assert!(matches!(
-            g.delete_edge(v(0), v(1)),
-            Err(GraphError::EdgeNotFound { .. })
-        ));
+        assert!(matches!(g.delete_edge(v(0), v(1)), Err(GraphError::EdgeNotFound { .. })));
     }
 
     #[test]

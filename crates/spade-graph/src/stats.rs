@@ -109,8 +109,8 @@ impl DegreeDistribution {
         for _ in 0..buckets {
             bound *= ratio;
             let hi = (bound.round() as usize).clamp(lo, max_d);
-            let count: usize = self.frequency[lo.min(self.frequency.len())
-                ..(hi + 1).min(self.frequency.len())]
+            let count: usize = self.frequency
+                [lo.min(self.frequency.len())..(hi + 1).min(self.frequency.len())]
                 .iter()
                 .sum();
             out.push((hi, count));

@@ -23,7 +23,15 @@ impl Summary {
     /// Summarizes `samples` (unsorted; empty input yields all zeros).
     pub fn of(samples: &[f64]) -> Summary {
         if samples.is_empty() {
-            return Summary { count: 0, mean: 0.0, min: 0.0, p50: 0.0, p95: 0.0, p99: 0.0, max: 0.0 };
+            return Summary {
+                count: 0,
+                mean: 0.0,
+                min: 0.0,
+                p50: 0.0,
+                p95: 0.0,
+                p99: 0.0,
+                max: 0.0,
+            };
         }
         let mut sorted: Vec<f64> = samples.to_vec();
         sorted.sort_by(f64::total_cmp);

@@ -1,0 +1,162 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Provides the subset the snapshot codec (`spade_core::persist`) uses:
+//! [`BytesMut`] with little-endian `put_*` appends and `freeze`, [`Bytes`]
+//! as an immutable byte cursor with `remaining` and little-endian `get_*`
+//! reads, and the [`Buf`]/[`BufMut`] traits those methods live on. Backed
+//! by a plain `Vec<u8>` — no shared-region refcounting, which the snapshot
+//! path never needs.
+
+/// Read side: a cursor over bytes.
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+
+    /// Consumes `n` bytes, returning them as a slice.
+    fn take_bytes(&mut self, n: usize) -> &[u8];
+
+    /// Reads a little-endian `u32`, advancing the cursor.
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take_bytes(4).try_into().unwrap())
+    }
+
+    /// Reads a little-endian `u64`, advancing the cursor.
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take_bytes(8).try_into().unwrap())
+    }
+
+    /// Reads a little-endian `f64`, advancing the cursor.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+/// Write side: an append-only byte sink.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64) {
+        self.put_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
+    }
+}
+
+/// Growable byte buffer for encoding.
+#[derive(Clone, Debug, Default)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer with `capacity` reserved.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut { data: Vec::with_capacity(capacity) }
+    }
+
+    /// Converts into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes { data: self.data, pos: 0 }
+    }
+
+    /// Current length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.data.extend_from_slice(src);
+    }
+}
+
+/// Immutable bytes with a read cursor for decoding.
+#[derive(Clone, Debug, Default)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data, pos: 0 }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Self {
+        Bytes { data: data.to_vec(), pos: 0 }
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    fn take_bytes(&mut self, n: usize) -> &[u8] {
+        assert!(self.remaining() >= n, "buffer underrun");
+        let start = self.pos;
+        self.pos += n;
+        &self.data[start..self.pos]
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+
+    /// The unconsumed tail of the buffer.
+    fn deref(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut w = BytesMut::with_capacity(32);
+        w.put_u32_le(0xDEAD_BEEF);
+        w.put_u64_le(0x0123_4567_89AB_CDEF);
+        w.put_f64_le(-1234.5678);
+        let mut r = w.freeze();
+        assert_eq!(r.remaining(), 20);
+        assert_eq!(r.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64_le(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(r.get_f64_le(), -1234.5678);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn deref_exposes_unconsumed_bytes() {
+        let mut b = Bytes::from(vec![1u8, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(&b[..2], &[1, 2]);
+        let _ = b.get_u32_le();
+        assert_eq!(&b[..], &[5, 6, 7, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer underrun")]
+    fn underrun_panics() {
+        let mut b = Bytes::from(vec![0u8; 3]);
+        let _ = b.get_u32_le();
+    }
+}

@@ -1,0 +1,243 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the benchmark-definition surface the workspace's `benches/`
+//! use — `Criterion::benchmark_group`, `sample_size`, `throughput`,
+//! `bench_function`, `BenchmarkId`, `Bencher::iter`, plus the
+//! `criterion_group!` / `criterion_main!` macros — over a simple
+//! wall-clock harness: warm up briefly, time batches until the measurement
+//! budget is spent, report the median ns/iter (and element throughput when
+//! declared). No statistics beyond that; relations between variants are
+//! what the harness is for, not confidence intervals.
+//!
+//! Environment knobs: `SPADE_BENCH_MS` (measurement budget per benchmark,
+//! default 300).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Declared workload per iteration, for derived throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A `function/parameter` benchmark label.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Joins a function name and parameter into one label.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { label: format!("{function}/{parameter}") }
+    }
+}
+
+/// Anything `bench_function` accepts as a label.
+pub trait IntoBenchmarkLabel {
+    /// The rendered label.
+    fn into_label(self) -> String;
+}
+
+impl IntoBenchmarkLabel for BenchmarkId {
+    fn into_label(self) -> String {
+        self.label
+    }
+}
+
+impl IntoBenchmarkLabel for &str {
+    fn into_label(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkLabel for String {
+    fn into_label(self) -> String {
+        self
+    }
+}
+
+/// Runs one benchmark body repeatedly under timing.
+pub struct Bencher {
+    samples: Vec<f64>,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Times `body`, collecting per-iteration samples until the budget is
+    /// spent.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut body: F) {
+        // Warmup: let caches/allocators settle and estimate cost.
+        let warmup_started = Instant::now();
+        let mut warmup_iters = 0u64;
+        while warmup_started.elapsed() < self.budget / 10 || warmup_iters < 3 {
+            std::hint::black_box(body());
+            warmup_iters += 1;
+            if warmup_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let est_per_iter = warmup_started.elapsed().as_secs_f64() / warmup_iters as f64;
+        // Batch so each sample costs ~1/50 of the budget.
+        let batch = ((self.budget.as_secs_f64() / 50.0 / est_per_iter.max(1e-9)) as u64).max(1);
+        let started = Instant::now();
+        while started.elapsed() < self.budget {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(body());
+            }
+            self.samples.push(t.elapsed().as_secs_f64() / batch as f64);
+        }
+    }
+}
+
+/// One benchmark group: shared prefix and reporting config.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the sample count here is governed
+    /// by the time budget instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility (time budget governs instead).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Declares per-iteration workload for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<L: IntoBenchmarkLabel, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: L,
+        mut body: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_label());
+        let mut bencher = Bencher { samples: Vec::new(), budget: self.criterion.budget };
+        body(&mut bencher);
+        report(&label, &bencher.samples, self.throughput);
+        self
+    }
+
+    /// Ends the group (reporting is per-benchmark; nothing to flush).
+    pub fn finish(&mut self) {}
+}
+
+/// The harness entry point handed to each benchmark function.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let ms = std::env::var("SPADE_BENCH_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .filter(|&ms| ms > 0)
+            .unwrap_or(300);
+        Criterion { budget: Duration::from_millis(ms) }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.to_string(), criterion: self, throughput: None }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<L: IntoBenchmarkLabel, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: L,
+        mut body: F,
+    ) -> &mut Self {
+        let label = id.into_label();
+        let mut bencher = Bencher { samples: Vec::new(), budget: self.budget };
+        body(&mut bencher);
+        report(&label, &bencher.samples, None);
+        self
+    }
+}
+
+fn report(label: &str, samples: &[f64], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{label:<60} no samples collected");
+        return;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = sorted[sorted.len() / 2];
+    let ns = median * 1e9;
+    let extra = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  {:>12.0} elem/s", n as f64 / median)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:>12.1} MiB/s", n as f64 / median / (1024.0 * 1024.0))
+        }
+        None => String::new(),
+    };
+    println!("{label:<60} {ns:>14.1} ns/iter ({} samples){extra}", sorted.len());
+}
+
+/// Collects benchmark functions into one runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Defines `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spin(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(10);
+        group.throughput(Throughput::Elements(1));
+        group.bench_function(BenchmarkId::new("spin", "tiny"), |b| {
+            let mut acc = 0u64;
+            b.iter(|| {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+                acc
+            });
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs_quickly() {
+        std::env::set_var("SPADE_BENCH_MS", "10");
+        criterion_group!(benches, spin);
+        benches();
+        std::env::remove_var("SPADE_BENCH_MS");
+    }
+}

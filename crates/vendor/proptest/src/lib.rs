@@ -1,0 +1,391 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset the workspace's property tests use: the
+//! [`Strategy`] trait (`prop_map`, tuples, integer ranges), weighted
+//! unions via [`prop_oneof!`], vector strategies via [`collection::vec`],
+//! and the [`proptest!`] test macro with `ProptestConfig::with_cases`.
+//! Inputs are generated from a per-case deterministic seed. Unlike the
+//! real proptest there is **no shrinking**: a failing case panics with the
+//! case number so it can be replayed by rerunning the test (the seed is a
+//! pure function of the case number).
+
+use rand::SeedableRng;
+pub use rand_chacha::ChaCha8Rng as TestRng;
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use super::TestRng;
+    use rand::Rng;
+    use std::rc::Rc;
+
+    /// Generates values of `Self::Value` from a seeded RNG.
+    pub trait Strategy: Clone {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U + Clone,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases the strategy (used by [`prop_oneof!`]).
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            let this = self;
+            BoxedStrategy(Rc::new(move |rng| this.generate(rng)))
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<T>(pub(crate) Rc<dyn Fn(&mut TestRng) -> T>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Rc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    /// Always yields a clone of one value.
+    #[derive(Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U + Clone,
+    {
+        type Value = U;
+
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Weighted union of same-valued strategies (see [`prop_oneof!`]).
+    pub struct Union<T> {
+        options: Vec<(u32, BoxedStrategy<T>)>,
+        total: u32,
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union { options: self.options.clone(), total: self.total }
+        }
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union from `(weight, strategy)` pairs.
+        pub fn new(options: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            let total = options.iter().map(|(w, _)| *w).sum();
+            assert!(total > 0, "prop_oneof! needs positive total weight");
+            Union { options, total }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.gen_range(0..self.total);
+            for (w, s) in &self.options {
+                if pick < *w {
+                    return s.generate(rng);
+                }
+                pick -= w;
+            }
+            unreachable!("weights cover the sampled range")
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($ty:ty),*) => {$(
+            impl Strategy for core::ops::Range<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategy {
+        ($($ty:ty),*) => {$(
+            impl Strategy for core::ops::Range<$ty> {
+                type Value = $ty;
+
+                fn generate(&self, rng: &mut TestRng) -> $ty {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    float_range_strategy!(f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    #[allow(non_snake_case)]
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use super::TestRng;
+    use rand::Rng;
+
+    /// Vectors of `elem` values with lengths drawn from `lens`.
+    pub fn vec<S: Strategy>(elem: S, lens: core::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(!lens.is_empty(), "empty length range");
+        VecStrategy { elem, lens }
+    }
+
+    /// See [`vec`].
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        lens: core::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.lens.clone());
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// Runner configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Drives `body` over `config.cases` deterministic cases. Called by the
+/// [`proptest!`] expansion; not part of the public API of the real crate.
+pub fn run_cases<F>(config: ProptestConfig, test_name: &str, mut body: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), String>,
+{
+    // Per-test, per-case deterministic seeds: replaying a failure only
+    // needs the case number printed in the panic message.
+    let name_seed = test_name
+        .bytes()
+        .fold(0x9E37_79B9u64, |acc, b| acc.wrapping_mul(131).wrapping_add(b as u64));
+    for case in 0..config.cases {
+        let mut rng = TestRng::seed_from_u64(name_seed ^ (0xC0DE_0000 + case as u64));
+        if let Err(msg) = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut rng)))
+            .unwrap_or_else(|payload| {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .cloned()
+                    .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                    .unwrap_or_else(|| "non-string panic".to_string());
+                Err(msg)
+            })
+        {
+            panic!("property {test_name} failed at case {case}/{}: {msg}", config.cases);
+        }
+    }
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $( $(#[$meta:meta])* fn $name:ident( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases($cfg, stringify!($name), |__rng| {
+                    $( let $arg = $crate::strategy::Strategy::generate(&($strat), __rng); )+
+                    // Immediately-invoked closure so `return Ok(())` works
+                    // inside property bodies, as in the real proptest.
+                    #[allow(clippy::redundant_closure_call)]
+                    let __result: ::std::result::Result<(), ::std::string::String> = (move || {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                    __result
+                });
+            }
+        )*
+    };
+    (
+        $( $(#[$meta:meta])* fn $name:ident( $( $arg:ident in $strat:expr ),+ $(,)? ) $body:block )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $( $(#[$meta])* fn $name( $($arg in $strat),+ ) $body )*
+        }
+    };
+}
+
+/// `assert!` under a property-test name.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// `assert_eq!` under a property-test name.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// `assert_ne!` under a property-test name.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { assert_ne!($($t)*) };
+}
+
+/// Weighted choice between same-valued strategies:
+/// `prop_oneof![3 => strat_a, 1 => strat_b]`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ( $( $w:expr => $s:expr ),+ $(,)? ) => {
+        $crate::strategy::Union::new(vec![
+            $( (($w) as u32, $crate::strategy::Strategy::boxed($s)) ),+
+        ])
+    };
+    ( $( $s:expr ),+ $(,)? ) => {
+        $crate::prop_oneof![ $( 1 => $s ),+ ]
+    };
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude`.
+
+    pub use crate::collection;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Choice {
+        Small(u8),
+        Pair(u32, u32),
+    }
+
+    fn choice() -> impl Strategy<Value = Choice> {
+        prop_oneof![
+            3 => (1u8..10).prop_map(Choice::Small),
+            1 => (0u32..5, 5u32..9).prop_map(|(a, b)| Choice::Pair(a, b)),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn generated_values_respect_strategies(
+            v in collection::vec(choice(), 1..20),
+            x in 3usize..7
+        ) {
+            prop_assert!((3..7).contains(&x));
+            prop_assert!(!v.is_empty() && v.len() < 20);
+            for c in v {
+                match c {
+                    Choice::Small(s) => prop_assert!((1..10).contains(&s)),
+                    Choice::Pair(a, b) => {
+                        prop_assert!(a < 5);
+                        prop_assert!((5..9).contains(&b));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_report_case_number() {
+        crate::run_cases(ProptestConfig::with_cases(4), "always_fails", |_rng| {
+            Err("boom".to_string())
+        });
+    }
+}

@@ -1,0 +1,23 @@
+//! Offline stand-in for the `serde` derive macros.
+//!
+//! This workspace builds in environments with no crates.io access, so the
+//! handful of `#[derive(serde::Serialize, serde::Deserialize)]` attributes
+//! in the data-model types resolve to these no-op derives. Nothing in the
+//! workspace bounds on the serde traits — the snapshot format
+//! (`spade_core::persist`) is a hand-rolled binary layout — so expanding to
+//! an empty token stream is sufficient. Swapping in the real serde is a
+//! one-line Cargo change once a registry is reachable.
+
+use proc_macro::TokenStream;
+
+/// No-op replacement for `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op replacement for `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -27,9 +27,7 @@ fn main() {
     // Normal users review a handful of products each.
     for u in 0..30u32 {
         for p in 0..4u32 {
-            spade
-                .insert_edge(v(u), v(1000 + (u + p) % 40), 1.0)
-                .expect("valid edge");
+            spade.insert_edge(v(u), v(1000 + (u + p) % 40), 1.0).expect("valid edge");
         }
     }
 

@@ -5,9 +5,7 @@
 //!
 //! Run with: `cargo run --release --example fraud_patterns`
 
-use spade::core::{
-    enumerate_static, EnumerationConfig, SpadeEngine, WeightedDensity,
-};
+use spade::core::{enumerate_static, EnumerationConfig, SpadeEngine, WeightedDensity};
 use spade::gen::fraud::{FraudInjector, FraudInjectorConfig};
 use spade::gen::transactions::{TransactionStream, TransactionStreamConfig};
 use std::collections::HashSet;
@@ -48,7 +46,11 @@ fn main() {
     // Enumerate separate fraud instances (Appendix C.2).
     let instances = enumerate_static(
         engine.graph(),
-        EnumerationConfig { max_instances: 8, min_density: det.density / 20.0, ..Default::default() },
+        EnumerationConfig {
+            max_instances: 8,
+            min_density: det.density / 20.0,
+            ..Default::default()
+        },
     );
     println!("\nenumerated {} dense communities:", instances.len());
     for (rank, inst) in instances.iter().enumerate() {

@@ -67,7 +67,10 @@ fn main() {
 
     // Shut down and snapshot — restart resumes without a static peel.
     let final_detection = service.shutdown();
-    println!("final detection: {} members, density {:.1}", final_detection.size, final_detection.density);
+    println!(
+        "final detection: {} members, density {:.1}",
+        final_detection.size, final_detection.density
+    );
     assert!(final_detection.members.iter().any(|m| ring.contains(&m.0)));
 
     // (The service consumed the engine; rebuild one from the same inputs
@@ -82,8 +85,7 @@ fn main() {
     save_engine(&engine, &mut snapshot).expect("snapshot");
     println!("snapshot size: {} KiB", snapshot.len() / 1024);
     let mut restored =
-        load_engine(WeightedDensity, SpadeConfig::default(), snapshot.as_slice())
-            .expect("restore");
+        load_engine(WeightedDensity, SpadeConfig::default(), snapshot.as_slice()).expect("restore");
     assert_eq!(restored.detect(), engine.detect());
     println!("restored engine detects identically — no re-peel needed");
 }

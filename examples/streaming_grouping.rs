@@ -69,8 +69,16 @@ fn main() {
 
     let stats = grouper.stats();
     println!("edge grouping over {} transactions:", stats.submitted);
-    println!("  urgent: {} ({:.2}%)", stats.urgent, 100.0 * stats.urgent as f64 / stats.submitted as f64);
-    println!("  flushes: {}, avg batch {:.1}", stats.flushes, stats.flushed_edges as f64 / stats.flushes.max(1) as f64);
+    println!(
+        "  urgent: {} ({:.2}%)",
+        stats.urgent,
+        100.0 * stats.urgent as f64 / stats.submitted as f64
+    );
+    println!(
+        "  flushes: {}, avg batch {:.1}",
+        stats.flushes,
+        stats.flushed_edges as f64 / stats.flushes.max(1) as f64
+    );
     println!(
         "  mean latency {:.0} stream-us over {} responded transactions ({:.2}% of it queueing)",
         latency.mean(),

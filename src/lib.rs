@@ -67,3 +67,8 @@ pub use spade_core as core;
 pub use spade_gen as gen;
 pub use spade_graph as graph;
 pub use spade_metrics as metrics;
+
+/// The sharded parallel detection runtime, re-exported at the top level:
+/// [`shard::ShardedSpadeService`] partitions the transaction stream
+/// across N worker engines (see `examples/sharded_service.rs`).
+pub use spade_core::shard;

@@ -5,8 +5,7 @@
 
 use spade::core::{
     enumerate_static, peel, DetectionBackend, EdgeGrouper, EnumerationConfig, GroupingConfig,
-    SpadeConfig, SpadeEngine, TimeWindowDetector, UnweightedDensity, WeightedDensity,
-    WindowRecord,
+    SpadeConfig, SpadeEngine, TimeWindowDetector, UnweightedDensity, WeightedDensity, WindowRecord,
 };
 use spade::gen::datasets::DatasetSpec;
 use spade::gen::fraud::{FraudInjector, FraudInjectorConfig};
@@ -143,7 +142,11 @@ fn enumeration_recovers_injected_instances() {
     let det = engine.detect();
     let found = enumerate_static(
         engine.graph(),
-        EnumerationConfig { max_instances: 6, min_density: det.density / 30.0, ..Default::default() },
+        EnumerationConfig {
+            max_instances: 6,
+            min_density: det.density / 30.0,
+            ..Default::default()
+        },
     );
     assert!(!found.is_empty());
     // At least one enumerated community must recover most of an injected
@@ -178,20 +181,14 @@ fn time_window_detector_over_generated_stream() {
     let mut detector = TimeWindowDetector::new(records.clone());
     // Slide a window across the stream; every answer must match a fresh
     // bootstrap of exactly that window.
-    for (ts, te) in [
-        (0, horizon / 3),
-        (horizon / 4, horizon / 2),
-        (horizon / 3, horizon),
-        (0, horizon + 1),
-    ] {
+    for (ts, te) in
+        [(0, horizon / 3), (horizon / 4, horizon / 2), (horizon / 3, horizon), (0, horizon + 1)]
+    {
         let (det, _) = detector.detect_window(ts, te).expect("window move");
         let fresh = SpadeEngine::bootstrap(
             WeightedDensity,
             SpadeConfig::default(),
-            records
-                .iter()
-                .filter(|r| r.ts >= ts && r.ts < te)
-                .map(|r| (r.src, r.dst, r.c)),
+            records.iter().filter(|r| r.ts >= ts && r.ts < te).map(|r| (r.src, r.dst, r.c)),
         )
         .expect("bootstrap");
         let want = peel(fresh.graph());
@@ -244,8 +241,15 @@ fn facade_full_lifecycle() {
     }
     let community = spade.detect().expect("detect");
     assert!(!community.is_empty());
-    // After detect(), the buffer must be empty and the engine state exact.
+    // After detect(), the buffer must be empty and the engine state a
+    // valid greedy peel. DW amounts are continuous floats here, so the
+    // incremental and from-scratch summation orders differ in the last
+    // ulps and near-ties in the peeling order may resolve differently —
+    // verify the greedy invariant within tolerance (the FD convention)
+    // plus density agreement instead of bit equality.
     assert_eq!(spade.grouper().unwrap().buffered(), 0);
+    spade.engine().state().validate_greedy(spade.engine().graph(), 1e-6);
     let fresh = peel(spade.engine().graph());
-    assert_eq!(spade.engine().state().logical_order(), fresh.order);
+    let det = spade.engine().cached_detection();
+    assert!((det.density - fresh.best_density).abs() < 1e-6);
 }
