@@ -51,8 +51,14 @@ fn workload() -> Vec<StreamEdge> {
 }
 
 fn replay(edges: &[StreamEdge], shards: usize, strategy: PartitionStrategy) -> u64 {
-    let config =
-        ShardedConfig { shards, queue_capacity: 4096, grouping: None, strategy, top_k: shards };
+    let config = ShardedConfig {
+        shards,
+        queue_capacity: 4096,
+        grouping: None,
+        strategy,
+        top_k: shards,
+        ..Default::default()
+    };
     let service = ShardedSpadeService::spawn(WeightedDensity, config);
     for e in edges {
         service.submit(e.src, e.dst, e.raw);

@@ -81,7 +81,8 @@ USAGE:
   spade stream   <edges.txt> [--metric dg|dw|fd] [--initial 0.9]
                  [--batch N | --grouping]
   spade serve    <edges.txt> [--shards N] [--metric dg|dw|fd] [--grouping]
-                 [--queue N] [--partitioner hash|connectivity] [--top N]
+                 [--queue N] [--coalesce N] [--partitioner hash|connectivity]
+                 [--top N]
   spade gen      [--dataset Grab1] [--scale 0.01] [--seed 42] [--out FILE]
   spade snapshot <edges.txt> --out FILE [--metric dg|dw|fd]
   spade resume   <FILE> [--metric dg|dw|fd] [--top N]
@@ -91,7 +92,9 @@ USAGE:
 per shard, communities kept co-resident by the connectivity partitioner)
 and reports per-shard statistics plus the `--top` densest per-shard
 communities (at most one per shard). `detect --shards N` routes the same
-static input through N shards instead of one engine.
+static input through N shards instead of one engine. `--coalesce N` caps
+how many queued transactions a shard worker drains and applies as one
+batch per wake-up (default 256; 1 = per-edge processing).
 
 Edge lists are whitespace-separated `src dst [raw] [timestamp]` lines."
     );
@@ -146,6 +149,7 @@ fn sharded_config_from(args: &Args, shards: usize) -> Result<ShardedConfig, AnyE
     Ok(ShardedConfig {
         shards,
         queue_capacity: args.num_opt("queue", 1024usize)?.max(1),
+        coalesce: args.num_opt("coalesce", ShardedConfig::default().coalesce)?.max(1),
         grouping: args.flag("grouping").then(GroupingConfig::default),
         strategy,
         top_k: shards,
@@ -169,14 +173,24 @@ fn print_sharded_report(
         elapsed_secs * 1e3,
         replayed as f64 / elapsed_secs.max(1e-9),
     );
-    let mut table =
-        Table::new(["shard", "updates", "flushes", "publishes", "det size", "det density"]);
+    let mut table = Table::new([
+        "shard",
+        "updates",
+        "rejected",
+        "flushes",
+        "publishes",
+        "skipped",
+        "det size",
+        "det density",
+    ]);
     for s in &stats {
         table.row([
             s.shard.to_string(),
             s.service.updates_applied.to_string(),
+            s.service.rejected.to_string(),
             s.service.flushes.to_string(),
             s.service.publishes.to_string(),
+            s.service.skipped_unchanged.to_string(),
             s.service.detection_size.to_string(),
             format!("{:.3}", s.service.detection_density),
         ]);
@@ -482,6 +496,7 @@ mod tests {
         let path = write_sample_edges(&dir);
         serve(&args(&format!("serve {path} --shards 4 --metric dw"))).unwrap();
         serve(&args(&format!("serve {path} --shards 2 --partitioner hash --grouping"))).unwrap();
+        serve(&args(&format!("serve {path} --shards 2 --coalesce 1"))).unwrap();
     }
 
     #[test]

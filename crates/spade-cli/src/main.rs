@@ -4,7 +4,7 @@
 //! spade detect <edges.txt> [--metric dg|dw|fd] [--top N] [--shards N]
 //! spade stream <edges.txt> [--metric ...] [--initial 0.9] [--batch N | --grouping]
 //! spade serve  <edges.txt> [--shards N] [--metric ...] [--grouping]
-//!              [--queue N] [--partitioner hash|connectivity]
+//!              [--queue N] [--coalesce N] [--partitioner hash|connectivity]
 //! spade gen    [--dataset Grab1] [--scale 0.01] [--seed N] [--out FILE]
 //! spade snapshot <edges.txt> --out <file.spade> [--metric ...]
 //! spade resume  <file.spade> [--metric ...] [--top N]

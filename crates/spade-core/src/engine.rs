@@ -14,7 +14,8 @@ use crate::metric::DensityMetric;
 use crate::peel::peel;
 use crate::reorder::{reorder, ReorderScratch, ReorderStats};
 use crate::state::{Detection, PeelingState};
-use spade_graph::{DynamicGraph, GraphError, VertexId};
+use spade_graph::hash::FxHashMap;
+use spade_graph::{DynamicGraph, EdgeRef, GraphError, VertexId};
 
 /// How the densest-suffix detection is maintained.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -54,6 +55,13 @@ pub struct SpadeEngine<M: DensityMetric> {
     detection_dirty: bool,
     scratch: ReorderScratch,
     blacks_buf: Vec<VertexId>,
+    /// Reusable batch scratch: edges that actually landed in the graph
+    /// during the current batch insertion.
+    inserted_buf: Vec<(VertexId, VertexId)>,
+    /// Reusable batch scratch: within-batch duplicate-pair coalescing.
+    coalesce_buf: Vec<(VertexId, VertexId, f64)>,
+    /// Reusable batch scratch: packed pair → `coalesce_buf` slot.
+    pair_index: FxHashMap<u64, usize>,
     last_stats: ReorderStats,
     total_stats: ReorderStats,
 }
@@ -79,6 +87,9 @@ impl<M: DensityMetric> SpadeEngine<M> {
             detection_dirty: false,
             scratch: ReorderScratch::new(),
             blacks_buf: Vec::new(),
+            inserted_buf: Vec::new(),
+            coalesce_buf: Vec::new(),
+            pair_index: FxHashMap::default(),
             last_stats: ReorderStats::default(),
             total_stats: ReorderStats::default(),
         }
@@ -294,32 +305,100 @@ impl<M: DensityMetric> SpadeEngine<M> {
         self.insert_batch_inner(edges, true)
     }
 
+    /// Batch insertion that **never fails**: malformed transactions
+    /// (self-loops, non-finite or negative suspiciousness) are skipped
+    /// and counted instead of aborting the rest of the batch — exactly
+    /// what per-edge [`insert_edge`](Self::insert_edge) callers get by
+    /// dropping individual errors. Returns the post-batch detection and
+    /// the number of rejected transactions. This is the service worker's
+    /// drain-coalescing entry point.
+    pub fn insert_batch_tolerant(
+        &mut self,
+        edges: &[(VertexId, VertexId, f64)],
+    ) -> (Detection, u64) {
+        match self.insert_batch_run(edges, false, true) {
+            Ok(result) => result,
+            // Tolerant runs swallow per-edge errors by construction.
+            Err(_) => unreachable!("tolerant batch insertion cannot fail"),
+        }
+    }
+
     fn insert_batch_inner(
         &mut self,
         edges: &[(VertexId, VertexId, f64)],
         preweighted: bool,
     ) -> Result<Detection, GraphError> {
-        self.blacks_buf.clear();
-        let mut inserted: Vec<(VertexId, VertexId)> = Vec::with_capacity(edges.len());
-        for &(src, dst, raw) in edges {
-            self.prepare_vertex(src)?;
-            self.prepare_vertex(dst)?;
-            let c =
-                if preweighted { raw } else { self.metric.edge_susp(src, dst, raw, &self.graph) };
-            validate_susp(src, dst, c)?;
-            if c == 0.0 {
-                continue; // redundant under the metric's set semantics
-            }
-            self.graph.insert_edge(src, dst, c)?;
-            inserted.push((src, dst));
+        if preweighted && edges.len() > 1 {
+            // Pre-coalesce duplicate `(src, dst)` pairs: suspiciousness
+            // is already evaluated, so accumulation is linear and k
+            // parallel transactions collapse into one graph touch. (The
+            // metric-evaluating path cannot coalesce — `edge_susp` reads
+            // the evolving graph, so arrival order matters there.)
+            let mut coalesced = std::mem::take(&mut self.coalesce_buf);
+            coalesced.clear();
+            let merge = coalesce_pairs(edges, &mut coalesced, &mut self.pair_index);
+            let result = match merge {
+                Ok(()) => self.insert_batch_run(&coalesced, true, false).map(|(det, _)| det),
+                Err(e) => Err(e),
+            };
+            self.coalesce_buf = coalesced;
+            return result;
         }
-        for (src, dst) in inserted {
+        self.insert_batch_run(edges, preweighted, false).map(|(det, _)| det)
+    }
+
+    /// Shared batch core: stages every edge into the graph, seeds `ΔV`
+    /// (deduplicated by the reordering pass), and reorders **once**.
+    /// `tolerant` turns per-edge errors into a rejection count.
+    fn insert_batch_run(
+        &mut self,
+        edges: &[(VertexId, VertexId, f64)],
+        preweighted: bool,
+        tolerant: bool,
+    ) -> Result<(Detection, u64), GraphError> {
+        self.blacks_buf.clear();
+        let mut inserted = std::mem::take(&mut self.inserted_buf);
+        inserted.clear();
+        let mut rejected: u64 = 0;
+        for &(src, dst, raw) in edges {
+            match self.stage_edge(src, dst, raw, preweighted) {
+                Ok(true) => inserted.push((src, dst)),
+                Ok(false) => {} // redundant under the metric's set semantics
+                Err(_) if tolerant => rejected += 1,
+                Err(e) => {
+                    self.inserted_buf = inserted;
+                    return Err(e);
+                }
+            }
+        }
+        for &(src, dst) in &inserted {
             let earlier =
                 if self.state.position_of(src) < self.state.position_of(dst) { src } else { dst };
             self.blacks_buf.push(earlier);
         }
+        self.inserted_buf = inserted;
         self.run_reorder();
-        Ok(self.refresh_detection())
+        Ok((self.refresh_detection(), rejected))
+    }
+
+    /// Stages one transaction of a batch into the graph (no reorder).
+    /// Returns whether an edge actually landed.
+    fn stage_edge(
+        &mut self,
+        src: VertexId,
+        dst: VertexId,
+        raw: f64,
+        preweighted: bool,
+    ) -> Result<bool, GraphError> {
+        self.prepare_vertex(src)?;
+        self.prepare_vertex(dst)?;
+        let c = if preweighted { raw } else { self.metric.edge_susp(src, dst, raw, &self.graph) };
+        validate_susp(src, dst, c)?;
+        if c == 0.0 {
+            return Ok(false);
+        }
+        self.graph.insert_edge(src, dst, c)?;
+        Ok(true)
     }
 
     fn run_reorder(&mut self) {
@@ -447,10 +526,38 @@ impl<M: DensityMetric + Clone> Clone for SpadeEngine<M> {
             detection_dirty: self.detection_dirty,
             scratch: self.scratch.clone(),
             blacks_buf: self.blacks_buf.clone(),
+            inserted_buf: self.inserted_buf.clone(),
+            coalesce_buf: self.coalesce_buf.clone(),
+            pair_index: self.pair_index.clone(),
             last_stats: self.last_stats,
             total_stats: self.total_stats,
         }
     }
+}
+
+/// Sums duplicate ordered `(src, dst)` pairs of a pre-weighted batch into
+/// `out`, keeping first-occurrence order (so vertex materialization order
+/// is identical to the sequential path). Each entry is validated before
+/// summing — a malformed weight must not hide inside an aggregate.
+/// `index` is caller-owned scratch (cleared here) so frequent flushes pay
+/// no per-batch allocation.
+fn coalesce_pairs(
+    edges: &[(VertexId, VertexId, f64)],
+    out: &mut Vec<(VertexId, VertexId, f64)>,
+    index: &mut FxHashMap<u64, usize>,
+) -> Result<(), GraphError> {
+    index.clear();
+    for &(src, dst, c) in edges {
+        validate_susp(src, dst, c)?;
+        match index.entry(EdgeRef::new(src, dst).packed()) {
+            std::collections::hash_map::Entry::Occupied(slot) => out[*slot.get()].2 += c,
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(out.len());
+                out.push((src, dst, c));
+            }
+        }
+    }
+    Ok(())
 }
 
 fn validate_susp(src: VertexId, dst: VertexId, c: f64) -> Result<(), GraphError> {
@@ -550,6 +657,63 @@ mod tests {
         batch.insert_batch(&batch_edges).unwrap();
         assert_eq!(single.state().logical_order(), batch.state().logical_order());
         assert_eq!(single.detect(), batch.detect());
+    }
+
+    #[test]
+    fn preweighted_batch_coalesces_duplicate_pairs_identically() {
+        // A burst with heavy pair duplication: coalesced insertion must
+        // be bit-identical to the sequential pre-weighted path.
+        let mut edges: Vec<(VertexId, VertexId, f64)> = Vec::new();
+        for rep in 0..6 {
+            for a in 0..4u32 {
+                for b in 0..4u32 {
+                    if a != b {
+                        edges.push((v(a), v(b), 1.0 + rep as f64));
+                    }
+                }
+            }
+        }
+        edges.push((v(9), v(2), 3.0));
+        let mut sequential = SpadeEngine::new(WeightedDensity);
+        for &(a, b, w) in &edges {
+            sequential.insert_edge(a, b, w).unwrap();
+        }
+        let mut batched = SpadeEngine::new(WeightedDensity);
+        batched.insert_batch_weighted(&edges).unwrap();
+        assert_eq!(batched.state().logical_order(), sequential.state().logical_order());
+        assert_eq!(batched.detect(), sequential.detect());
+        assert_eq!(batched.graph().num_edges(), sequential.graph().num_edges());
+    }
+
+    #[test]
+    fn tolerant_batch_counts_rejects_and_applies_the_rest() {
+        let mut e = SpadeEngine::new(WeightedDensity);
+        let edges = [
+            (v(0), v(1), 2.0),
+            (v(3), v(3), 1.0),  // self-loop: rejected
+            (v(1), v(2), -4.0), // negative susp: rejected
+            (v(2), v(0), 5.0),
+        ];
+        let (det, rejected) = e.insert_batch_tolerant(&edges);
+        assert_eq!(rejected, 2);
+        assert_eq!(e.graph().num_edges(), 2);
+        assert!(det.size > 0);
+        // The rejected self-loop still materialized its vertex, exactly
+        // like the per-edge path would have before erroring.
+        assert!(e.graph().contains_vertex(v(3)));
+        check_against_static(&mut e);
+    }
+
+    #[test]
+    fn batch_scratch_buffers_are_reused_across_calls() {
+        let mut e = SpadeEngine::new(WeightedDensity);
+        e.insert_batch(&[(v(0), v(1), 2.0), (v(1), v(2), 3.0)]).unwrap();
+        e.insert_batch_weighted(&[(v(2), v(3), 1.0), (v(2), v(3), 2.0), (v(3), v(4), 1.0)])
+            .unwrap();
+        e.insert_batch(&[(v(4), v(0), 2.0)]).unwrap();
+        check_against_static(&mut e);
+        // Accumulated duplicate pair from the weighted batch.
+        assert_eq!(e.graph().edge_weight(v(2), v(3)), Some(3.0));
     }
 
     #[test]

@@ -103,6 +103,11 @@ impl EdgeGrouper {
         self.buffer.len()
     }
 
+    /// The grouper's configuration.
+    pub fn config(&self) -> GroupingConfig {
+        self.config
+    }
+
     /// Cumulative statistics.
     pub fn stats(&self) -> GroupingStats {
         self.stats
@@ -119,6 +124,12 @@ impl EdgeGrouper {
     ) -> Result<SubmitOutcome, GraphError> {
         engine.ensure_vertex(src)?;
         engine.ensure_vertex(dst)?;
+        // Reject self-loops here (after vertex materialization, exactly
+        // like the per-edge engine path) — buffering one would poison
+        // the whole flush batch later.
+        if src == dst {
+            return Err(GraphError::SelfLoop { vertex: src });
+        }
         let c = engine.metric().edge_susp(src, dst, raw, engine.graph());
         if !c.is_finite() {
             return Err(GraphError::NonFiniteWeight { context: "edge suspiciousness" });
@@ -346,6 +357,25 @@ mod tests {
         g.flush(&mut grouped).unwrap();
         assert_eq!(eager.state().logical_order(), grouped.state().logical_order());
         assert_eq!(eager.detect(), grouped.detect());
+    }
+
+    #[test]
+    fn self_loops_are_rejected_at_submit_not_buffered() {
+        // Buffering a self-loop would poison the whole flush batch; it
+        // must be rejected up front (after vertex materialization,
+        // matching the per-edge engine path) while serving continues.
+        let mut e = engine_with_community();
+        let mut g = EdgeGrouper::new(GroupingConfig::default());
+        g.submit(&mut e, v(5), v(8), 0.2).unwrap();
+        assert!(matches!(
+            g.submit(&mut e, v(6), v(6), 1.0),
+            Err(GraphError::SelfLoop { vertex: VertexId(6) })
+        ));
+        assert_eq!(g.buffered(), 1);
+        // The flush still applies the healthy buffered edge.
+        g.flush(&mut e).unwrap();
+        assert!(e.graph().edge_weight(v(5), v(8)).is_some());
+        assert_eq!(e.state().logical_order(), peel(e.graph()).order);
     }
 
     #[test]

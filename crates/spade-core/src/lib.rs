@@ -28,7 +28,7 @@ pub use metric::{CustomMetric, DensityMetric, Fraudar, UnweightedDensity, Weight
 pub use peel::{peel, peel_with_queue, PeelingOutcome};
 pub use persist::{load_engine, save_engine, SnapshotError};
 pub use reorder::{ReorderScratch, ReorderStats};
-pub use service::{PublishedDetection, ServiceStats, SpadeService};
+pub use service::{IngestConfig, PublishedDetection, ServiceStats, SpadeService};
 pub use shard::{
     GlobalDetection, PartitionStrategy, Partitioner, ShardStats, ShardedConfig, ShardedSpadeService,
 };

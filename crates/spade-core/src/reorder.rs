@@ -134,11 +134,23 @@ pub fn reorder(
     }
     scratch.begin_epoch(graph.num_vertices());
 
-    blacks.sort_unstable_by_key(|&v| state.position_of(v));
-    blacks.dedup();
-    for &b in blacks.iter() {
-        scratch.black[b.index()] = scratch.epoch;
+    // Stamp-dedupe `ΔV` in O(k) before sorting: a k-edge burst onto one
+    // community names the same earlier endpoint k times, and carrying the
+    // duplicates into the sort would cost O(k log k) and seed the queue
+    // with redundant work. The stamp doubles as the black coloring.
+    {
+        let epoch = scratch.epoch;
+        let black = &mut scratch.black;
+        blacks.retain(|&v| {
+            if black[v.index()] == epoch {
+                false
+            } else {
+                black[v.index()] = epoch;
+                true
+            }
+        });
     }
+    blacks.sort_unstable_by_key(|&v| state.position_of(v));
 
     // Global suffix cursor; windows never move it backwards.
     let mut cursor = 0usize;
@@ -441,6 +453,25 @@ mod tests {
         let (lo, len) = touched[0];
         assert!(len > 0);
         assert!(lo + len <= state.len());
+    }
+
+    #[test]
+    fn duplicated_blacks_are_deduplicated_in_linear_time() {
+        // A k-edge burst onto one community seeds the same earlier vertex
+        // k times; the pass must behave exactly as if it appeared once.
+        let mut graph = paper_example();
+        let mut state = PeelingState::from_outcome(&peel(&graph));
+        let mut scratch = ReorderScratch::new();
+        for _ in 0..8 {
+            graph.insert_edge(v(0), v(4), 1.0).unwrap();
+        }
+        let earlier = if state.position_of(v(0)) < state.position_of(v(4)) { v(0) } else { v(4) };
+        let mut blacks = vec![earlier; 8];
+        let stats = reorder(&graph, &mut state, &mut blacks, &mut scratch, |_, _| {});
+        assert_eq!(blacks.len(), 1, "duplicates must be stripped in place");
+        assert_eq!(stats.windows, 1);
+        assert_eq!(state.logical_order(), peel(&graph).order);
+        state.validate_greedy(&graph, 1e-9);
     }
 
     #[test]

@@ -23,11 +23,11 @@ pub struct GlobalDetection {
     /// Index of the shard holding the densest community.
     pub best_shard: usize,
     /// The densest community across shards. Deliberately duplicates
-    /// `top[0].detection` (including one extra member-list clone per
-    /// merge) so the common "what's the answer" read needs no index
-    /// gymnastics; high-frequency pollers that only need counters
-    /// should use `ShardedSpadeService::stats` instead, which clones
-    /// nothing.
+    /// `top[0].detection` so the common "what's the answer" read needs
+    /// no index gymnastics — since member lists live behind `Arc`
+    /// snapshots, the duplicate costs a pointer clone, not a vec copy.
+    /// High-frequency pollers that only need counters should use
+    /// `ShardedSpadeService::stats`, which takes no snapshot at all.
     pub best: PublishedDetection,
     /// Top-k shards ranked by detection density (descending; ties break
     /// toward the lower shard index).
@@ -81,7 +81,7 @@ mod tests {
     use super::*;
 
     fn det(size: usize, density: f64, updates: u64) -> PublishedDetection {
-        PublishedDetection { size, density, members: Vec::new(), updates_applied: updates }
+        PublishedDetection { size, density, updates_applied: updates, ..Default::default() }
     }
 
     #[test]

@@ -22,7 +22,7 @@
 use crate::engine::SpadeEngine;
 use crate::grouping::GroupingConfig;
 use crate::metric::DensityMetric;
-use crate::service::{PublishedDetection, ServiceStats, SpadeService};
+use crate::service::{IngestConfig, PublishedDetection, ServiceStats, SpadeService};
 use crate::shard::aggregate::{DetectionAggregator, GlobalDetection};
 use crate::shard::partition::{HashPartitioner, PartitionStrategy, Partitioner};
 use parking_lot::Mutex;
@@ -35,6 +35,11 @@ pub struct ShardedConfig {
     pub shards: usize,
     /// Per-shard ingest queue bound (back-pressure per shard).
     pub queue_capacity: usize,
+    /// Per-shard drain-coalescing cap: how many queued commands a shard
+    /// worker applies per wake-up as one batch (one reorder pass, one
+    /// publish). `1` means strict per-edge processing; see
+    /// [`IngestConfig::coalesce`].
+    pub coalesce: usize,
     /// Edge-grouping configuration applied inside every shard.
     pub grouping: Option<GroupingConfig>,
     /// Edge-to-shard routing policy.
@@ -45,9 +50,11 @@ pub struct ShardedConfig {
 
 impl Default for ShardedConfig {
     fn default() -> Self {
+        let ingest = IngestConfig::default();
         ShardedConfig {
             shards: std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(8),
-            queue_capacity: 1024,
+            queue_capacity: ingest.queue_capacity,
+            coalesce: ingest.coalesce,
             grouping: None,
             strategy: PartitionStrategy::default(),
             top_k: 4,
@@ -124,11 +131,13 @@ impl ShardedSpadeService {
     {
         let num_shards = config.shards.max(1);
         let mut shards = Vec::with_capacity(num_shards);
+        let ingest =
+            IngestConfig { queue_capacity: config.queue_capacity, coalesce: config.coalesce };
         for shard in 0..num_shards {
-            shards.push(SpadeService::spawn_named(
+            shards.push(SpadeService::spawn_with(
                 factory(shard),
                 config.grouping,
-                config.queue_capacity,
+                ingest,
                 format!("spade-shard-{shard}"),
             ));
         }

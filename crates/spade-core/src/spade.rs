@@ -15,6 +15,7 @@
 use crate::engine::{SpadeConfig, SpadeEngine};
 use crate::grouping::{EdgeGrouper, GroupingConfig};
 use crate::metric::CustomMetric;
+use crate::service::{IngestConfig, SpadeService};
 use crate::state::Detection;
 use spade_graph::io;
 use spade_graph::{DynamicGraph, GraphError, VertexId};
@@ -214,6 +215,21 @@ impl Spade {
         Ok(self.engine.detect())
     }
 
+    /// Hands the facade's engine to a threaded [`SpadeService`] — the
+    /// Fig. 1 runtime with drain-coalescing ingest and zero-copy
+    /// snapshot publishing. Any buffered benign edges are flushed first,
+    /// so the service starts from the exact state every transaction
+    /// submitted so far implies; the grouping configuration carries
+    /// over to the worker.
+    pub fn into_service(mut self, ingest: IngestConfig) -> Result<SpadeService, GraphError> {
+        let mut grouping = None;
+        if let Some(g) = self.grouper.as_mut() {
+            grouping = Some(g.config());
+            g.flush(&mut self.engine)?;
+        }
+        Ok(SpadeService::spawn_with(self.engine, grouping, ingest, "spade-detector".into()))
+    }
+
     /// Read access to the underlying engine.
     pub fn engine(&self) -> &SpadeEngine<CustomMetric> {
         &self.engine
@@ -328,6 +344,26 @@ mod tests {
         spade.detect().unwrap();
         assert_eq!(spade.grouper().unwrap().buffered(), 0);
         assert!(spade.engine().graph().edge_weight(v(7), v(8)).is_some());
+    }
+
+    #[test]
+    fn facade_into_service_flushes_and_serves() {
+        let spade = SpadeBuilder::new()
+            .name("DW")
+            .esusp(|_, _, raw, _| raw)
+            .turn_on_edge_grouping()
+            .build();
+        let service = spade.into_service(IngestConfig::default()).unwrap();
+        for a in 0..3u32 {
+            for b in 0..3u32 {
+                if a != b {
+                    assert!(service.submit(v(a), v(b), 15.0));
+                }
+            }
+        }
+        let det = service.shutdown();
+        assert_eq!(det.updates_applied, 6);
+        assert!(det.size >= 3);
     }
 
     #[test]

@@ -6,8 +6,8 @@
 
 use proptest::prelude::*;
 use spade::core::{
-    load_engine, peel, save_engine, DetectionBackend, KineticIndex, SpadeConfig, SpadeEngine,
-    TimeWindowDetector, WeightedDensity, WindowRecord,
+    load_engine, peel, save_engine, DetectionBackend, GroupingConfig, IngestConfig, KineticIndex,
+    SpadeConfig, SpadeEngine, SpadeService, TimeWindowDetector, WeightedDensity, WindowRecord,
 };
 use spade::graph::VertexId;
 
@@ -154,6 +154,50 @@ proptest! {
                 "density {} vs oracle {}", got.density, best.1);
             prop_assert_eq!(got.size, best.0);
         }
+    }
+
+    /// The drained/coalesced service path is bit-identical to per-edge
+    /// insertion on a solo engine: for random interleavings (including
+    /// malformed self-loops the worker must reject and keep serving),
+    /// the worker's batch runs (§4.2) yield the same peeling sequence
+    /// and the same final detection — the coalescing optimization is
+    /// observationally pure, now exercised through the service layer.
+    #[test]
+    fn coalesced_service_equals_per_edge_solo_engine(
+        edges in proptest::collection::vec((0u32..12, 0u32..12, 1u8..7), 1..60),
+        coalesce in 1usize..40,
+        grouped in (0u8..2).prop_map(|x| x == 1),
+    ) {
+        let grouping = grouped.then(GroupingConfig::default);
+        let service = SpadeService::spawn_with(
+            SpadeEngine::new(WeightedDensity),
+            grouping,
+            IngestConfig { queue_capacity: 128, coalesce },
+            "prop-coalesce".into(),
+        );
+        let mut submitted = 0u64;
+        for &(a, b, w) in &edges {
+            prop_assert!(service.submit(v(a), v(b), w as f64));
+            submitted += 1;
+        }
+        let (det, engine) = service.shutdown_into_engine::<WeightedDensity>();
+        let mut coalesced = engine.expect("worker hands the engine back");
+        prop_assert_eq!(det.updates_applied, submitted);
+
+        let mut solo = SpadeEngine::new(WeightedDensity);
+        for &(a, b, w) in &edges {
+            // The worker drops malformed transactions (self-loops here)
+            // and keeps serving; mirror that per edge.
+            let _ = solo.insert_edge(v(a), v(b), w as f64);
+        }
+        prop_assert_eq!(coalesced.state().logical_order(), solo.state().logical_order());
+        let (got, want) = (coalesced.detect(), solo.detect());
+        prop_assert_eq!(got.size, want.size);
+        prop_assert_eq!(got.density.to_bits(), want.density.to_bits());
+        prop_assert_eq!(det.size, want.size);
+        // The published members are exactly the solo community.
+        let published: Vec<VertexId> = det.members.to_vec();
+        prop_assert_eq!(&published[..], solo.community(want));
     }
 
     /// Snapshot round-trips preserve the engine state exactly.

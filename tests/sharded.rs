@@ -156,6 +156,53 @@ fn grouped_sharded_shutdown_flushes_every_buffer() {
 }
 
 #[test]
+fn ten_thousand_edge_burst_coalesces_publishes_and_loses_nothing() {
+    // A 10k burst through the coalescing sharded runtime: every
+    // submission must be accounted for on shutdown, and the workers must
+    // have amortized publishing (far fewer snapshot swaps than updates)
+    // — the drain-coalescing win, observable end to end.
+    let config = ShardedConfig { shards: 4, queue_capacity: 2048, ..Default::default() };
+    assert!(config.coalesce > 1, "coalescing must be on by default");
+    let service = ShardedSpadeService::spawn(WeightedDensity, config);
+    let total: u32 = 10_000;
+    for i in 0..total {
+        // Zipf-ish self-similar traffic plus a hot ring every 1000th
+        // submission, so bursts repeatedly hit the same communities.
+        let (a, b, w) = if i % 1_000 < 20 {
+            (3_000 + (i % 5), 3_000 + ((i + 1 + i / 1_000) % 5), 50.0)
+        } else {
+            (i % 700, 700 + (i * 13 % 350), 1.0 + (i % 7) as f64)
+        };
+        assert!(service.submit(v(a), v(b), w));
+    }
+    // Wait for the drain (bounded, so a worker panic fails the test
+    // instead of hanging CI), then read the counters (stats are gone
+    // after shutdown).
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(60);
+    loop {
+        assert!(std::time::Instant::now() < deadline, "shards failed to drain 10k submissions");
+        let stats = service.stats();
+        let applied: u64 = stats.iter().map(|s| s.service.updates_applied).sum();
+        if applied >= total as u64 {
+            let publishes: u64 = stats.iter().map(|s| s.service.publishes).sum();
+            assert!(
+                publishes < total as u64,
+                "coalescing must amortize publishing ({publishes} publishes for {total} updates)"
+            );
+            // Blocks 4 and 9 of the ring generator degenerate to
+            // self-loops (20 each): rejected, counted, never fatal.
+            let rejected: u64 = stats.iter().map(|s| s.service.rejected).sum();
+            assert_eq!(rejected, 40, "malformed submissions must be counted exactly");
+            break;
+        }
+        std::thread::yield_now();
+    }
+    let global = service.shutdown();
+    assert_eq!(global.total_updates, total as u64, "shutdown drained inexactly");
+    assert!(global.best.density > 10.0, "the hot ring must dominate the global detection");
+}
+
+#[test]
 fn hash_partitioning_still_aggregates_exactly_and_detects_something() {
     let config = ShardedConfig {
         shards: 4,
