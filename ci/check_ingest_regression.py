@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Throughput regression gate over BENCH_ingest.json trajectories.
+
+Compares a freshly measured ingest trajectory against the committed
+baseline and fails (exit 1) when any `bursty` sample's edges/sec drops by
+more than the allowed fraction. Drip samples are reported but never gate:
+they measure round-trip latency, which is far noisier across runner
+generations than sustained throughput.
+
+Caveat: the committed baseline is machine-specific (currently measured on
+the 1-hardware-thread build container). If CI runner hardware changes or
+the gate flakes without a code change, regenerate the baseline on the new
+runner class (`cargo run --release -p spade-bench --bin bench_ingest`)
+and commit it alongside a note in EXPERIMENTS.md.
+
+Usage:
+    ci/check_ingest_regression.py BASELINE.json FRESH.json [--max-drop 0.20]
+"""
+
+import argparse
+import json
+import sys
+
+
+def samples_by_key(trajectory):
+    return {
+        (s["scenario"], s["coalesce"]): s
+        for s in trajectory["samples"]
+    }
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed BENCH_ingest.json")
+    parser.add_argument("fresh", help="freshly measured trajectory")
+    parser.add_argument(
+        "--max-drop",
+        type=float,
+        default=0.20,
+        help="maximum tolerated fractional drop in bursty edges/sec (default 0.20)",
+    )
+    args = parser.parse_args()
+
+    with open(args.baseline) as f:
+        baseline = samples_by_key(json.load(f))
+    with open(args.fresh) as f:
+        fresh = samples_by_key(json.load(f))
+
+    failures = []
+    rows = []
+    for key in sorted(baseline, key=str):
+        if key not in fresh:
+            failures.append(f"sample {key} missing from the fresh trajectory")
+            continue
+        base_tps = baseline[key]["throughput_eps"]
+        fresh_tps = fresh[key]["throughput_eps"]
+        ratio = fresh_tps / base_tps if base_tps > 0 else float("inf")
+        gated = key[0] == "bursty"
+        verdict = "ok"
+        if gated and ratio < 1.0 - args.max_drop:
+            verdict = "REGRESSION"
+            failures.append(
+                f"{key[0]} coalesce={key[1]}: {fresh_tps:,.0f} tx/s is "
+                f"{(1.0 - ratio) * 100:.1f}% below the baseline {base_tps:,.0f} tx/s"
+            )
+        rows.append(
+            (key[0], key[1], base_tps, fresh_tps, ratio, verdict if gated else "info")
+        )
+
+    print(f"{'scenario':>10} {'coalesce':>8} {'baseline tx/s':>14} "
+          f"{'fresh tx/s':>12} {'ratio':>6}  verdict")
+    for scenario, coalesce, base_tps, fresh_tps, ratio, verdict in rows:
+        print(f"{scenario:>10} {coalesce:>8} {base_tps:>14,.0f} "
+              f"{fresh_tps:>12,.0f} {ratio:>6.2f}  {verdict}")
+
+    if failures:
+        print(f"\nFAIL: bursty throughput regressed beyond "
+              f"{args.max_drop * 100:.0f}%:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"\nOK: no bursty sample dropped more than {args.max_drop * 100:.0f}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

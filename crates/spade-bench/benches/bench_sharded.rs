@@ -97,5 +97,41 @@ fn bench_shard_sweep(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_shard_sweep);
+/// One full cross-shard repair pass over a live hash-routed runtime:
+/// export a candidate region per shard, union overlapping regions,
+/// re-peel through the scratch engine, publish. The stream is replayed
+/// once per shard count; each iteration measures the pass alone — the
+/// cost a scheduler pays every time overlap or staleness triggers.
+fn bench_repair_pass(c: &mut Criterion) {
+    let edges = workload();
+    let mut group = c.benchmark_group("cross_shard_repair");
+    group.sample_size(10);
+    for shards in [2usize, 4, 8] {
+        let config = ShardedConfig {
+            shards,
+            queue_capacity: 4096,
+            strategy: PartitionStrategy::HashBySource,
+            top_k: shards,
+            ..Default::default()
+        };
+        let service = ShardedSpadeService::spawn(WeightedDensity, config);
+        for e in &edges {
+            service.submit(e.src, e.dst, e.raw);
+        }
+        // One forced pass drains every queue, so iterations measure
+        // repair over a settled graph rather than racing ingest.
+        let settled = service.repair();
+        assert!(settled.detection.density >= settled.baseline_density);
+        group.bench_function(BenchmarkId::new("repair", shards), |b| {
+            b.iter(|| {
+                let repaired = service.repair();
+                assert!(repaired.detection.size > 0);
+            });
+        });
+        service.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shard_sweep, bench_repair_pass);
 criterion_main!(benches);

@@ -161,6 +161,16 @@ impl<M: DensityMetric> SpadeEngine<M> {
         engine
     }
 
+    /// Replaces the engine's graph with `graph` — whose weights must
+    /// already be final suspiciousness values — and re-peels it in place.
+    /// The engine value is recycled: metric, configuration, kinetic index
+    /// and reorder scratch buffers all survive, so a repair pass can run
+    /// many union re-peels through one borrowed scratch engine instead of
+    /// constructing a fresh engine per union.
+    pub fn reload_graph(&mut self, graph: DynamicGraph) {
+        self.install_graph(graph);
+    }
+
     fn install_graph(&mut self, graph: DynamicGraph) {
         let outcome = peel(&graph);
         self.state = PeelingState::from_outcome(&outcome);

@@ -26,11 +26,12 @@ pub use grouping::{EdgeGrouper, FlushReason, GroupingConfig, GroupingStats, Subm
 pub use kinetic::KineticIndex;
 pub use metric::{CustomMetric, DensityMetric, Fraudar, UnweightedDensity, WeightedDensity};
 pub use peel::{peel, peel_with_queue, PeelingOutcome};
-pub use persist::{load_engine, save_engine, SnapshotError};
+pub use persist::{load_engine, save_engine, SnapshotError, SubgraphSnapshot};
 pub use reorder::{ReorderScratch, ReorderStats};
-pub use service::{IngestConfig, PublishedDetection, ServiceStats, SpadeService};
+pub use service::{CandidateRegion, IngestConfig, PublishedDetection, ServiceStats, SpadeService};
 pub use shard::{
-    GlobalDetection, PartitionStrategy, Partitioner, ShardStats, ShardedConfig, ShardedSpadeService,
+    GlobalDetection, PartitionStrategy, Partitioner, RepairConfig, RepairStats, RepairedDetection,
+    ShardStats, ShardedConfig, ShardedSpadeService,
 };
 pub use spade::{Spade, SpadeBuilder};
 pub use state::{Detection, PeelingState};

@@ -18,13 +18,33 @@ use crate::metric::DensityMetric;
 use crate::peel::PeelingOutcome;
 use crate::state::PeelingState;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use spade_graph::hash::{FxHashMap, FxHashSet};
 use spade_graph::{DynamicGraph, GraphError, VertexId};
 use std::io::{Read, Write};
+
+/// Overflow-safe section length check: `count` records of `width` bytes
+/// must fit in the remaining buffer (a crafted 64-bit count must fail
+/// decoding, not wrap the multiplication and crash later).
+fn check_section(
+    buf: &Bytes,
+    count: usize,
+    width: usize,
+    what: &'static str,
+) -> Result<(), SnapshotError> {
+    match count.checked_mul(width) {
+        Some(need) if buf.remaining() >= need => Ok(()),
+        _ => Err(SnapshotError::Corrupt(what)),
+    }
+}
 
 /// Snapshot magic: "SPDE".
 const MAGIC: u32 = 0x5350_4445;
 /// Current snapshot format version.
 const VERSION: u32 = 1;
+/// Subgraph snapshot magic: "SPSG".
+const SUBGRAPH_MAGIC: u32 = 0x5350_5347;
+/// Current subgraph format version.
+const SUBGRAPH_VERSION: u32 = 1;
 
 /// Errors raised while decoding a snapshot.
 #[derive(Debug)]
@@ -131,17 +151,13 @@ fn decode(mut buf: Bytes) -> Result<(DynamicGraph, PeelingState), SnapshotError>
     }
     let n = buf.get_u64_le() as usize;
     let m = buf.get_u64_le() as usize;
-    if buf.remaining() < n * 8 {
-        return Err(SnapshotError::Corrupt("truncated vertex table"));
-    }
+    check_section(&buf, n, 8, "truncated vertex table")?;
     let mut graph = DynamicGraph::with_capacity(n);
     for _ in 0..n {
         graph.add_vertex(buf.get_f64_le())?;
     }
     // 4 (src) + 4 (dst) + 8 (weight) bytes per edge.
-    if buf.remaining() < m * 16 {
-        return Err(SnapshotError::Corrupt("truncated edge table"));
-    }
+    check_section(&buf, m, 16, "truncated edge table")?;
     for _ in 0..m {
         let src = VertexId(buf.get_u32_le());
         let dst = VertexId(buf.get_u32_le());
@@ -155,9 +171,7 @@ fn decode(mut buf: Bytes) -> Result<(DynamicGraph, PeelingState), SnapshotError>
     if len != n {
         return Err(SnapshotError::Corrupt("peeling state does not cover the vertex set"));
     }
-    if buf.remaining() < len * 12 {
-        return Err(SnapshotError::Corrupt("truncated peeling state"));
-    }
+    check_section(&buf, len, 12, "truncated peeling state")?;
     // Rebuild via logical order (PeelingOutcome is logical-first).
     let mut order = Vec::with_capacity(len);
     let mut weights = Vec::with_capacity(len);
@@ -184,6 +198,165 @@ fn decode(mut buf: Bytes) -> Result<(DynamicGraph, PeelingState), SnapshotError>
         return Err(SnapshotError::Corrupt("duplicate vertices in peeling state"));
     }
     Ok((graph, state))
+}
+
+/// A self-contained slice of a transaction graph: explicit (sparse,
+/// global) vertex ids with their suspiciousness weights, plus every edge
+/// of the induced subgraph.
+///
+/// Unlike the full-engine snapshot above — dense ids, peeling state
+/// included — a subgraph carries no peeling state: the consumer re-peels
+/// whatever union of subgraphs it assembles. This is the candidate-region
+/// wire format of the cross-shard repair pass (`crate::shard::repair`),
+/// and the natural state-handoff unit for a distributed backend: a shard
+/// exports its detected community plus a k-hop frontier, the aggregator
+/// replays the bytes into a scratch engine.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SubgraphSnapshot {
+    /// Vertices as `(global id, vertex suspiciousness a_u)`, sorted by id.
+    pub vertices: Vec<(VertexId, f64)>,
+    /// Directed edges `(src, dst, accumulated suspiciousness)`; both
+    /// endpoints are members of `vertices`.
+    pub edges: Vec<(VertexId, VertexId, f64)>,
+}
+
+impl SubgraphSnapshot {
+    /// Extracts the induced subgraph over `seeds` expanded by `hops`
+    /// breadth-first steps (both edge directions): the vertex set is
+    /// `seeds ∪ N^hops(seeds)`, the edge set is every edge of `graph`
+    /// with both endpoints inside. `hops = 0` exports exactly the seeds'
+    /// induced subgraph; each extra hop pulls in one ring of boundary
+    /// structure so a repair union can stitch communities that only touch
+    /// through frontier vertices.
+    pub fn extract(graph: &DynamicGraph, seeds: &[VertexId], hops: usize) -> SubgraphSnapshot {
+        let mut member: FxHashSet<u32> = FxHashSet::default();
+        let mut frontier: Vec<VertexId> = Vec::new();
+        for &s in seeds {
+            if graph.contains_vertex(s) && member.insert(s.0) {
+                frontier.push(s);
+            }
+        }
+        let mut next: Vec<VertexId> = Vec::new();
+        for _ in 0..hops {
+            for &u in &frontier {
+                for nb in graph.neighbors(u) {
+                    if member.insert(nb.v.0) {
+                        next.push(nb.v);
+                    }
+                }
+            }
+            if next.is_empty() {
+                break;
+            }
+            std::mem::swap(&mut frontier, &mut next);
+            next.clear();
+        }
+        // Canonical order: sorted by id, so equal regions encode equal
+        // bytes regardless of discovery order.
+        let mut ids: Vec<u32> = member.iter().copied().collect();
+        ids.sort_unstable();
+        let mut vertices = Vec::with_capacity(ids.len());
+        let mut edges = Vec::new();
+        for &id in &ids {
+            let u = VertexId(id);
+            vertices.push((u, graph.vertex_weight(u)));
+            for nb in graph.out_neighbors(u) {
+                if member.contains(&nb.v.0) {
+                    edges.push((u, nb.v, nb.w));
+                }
+            }
+        }
+        SubgraphSnapshot { vertices, edges }
+    }
+
+    /// Serializes the subgraph with the same length-prefixed
+    /// little-endian layout as the engine snapshot.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf =
+            BytesMut::with_capacity(24 + self.vertices.len() * 12 + self.edges.len() * 16);
+        buf.put_u32_le(SUBGRAPH_MAGIC);
+        buf.put_u32_le(SUBGRAPH_VERSION);
+        buf.put_u64_le(self.vertices.len() as u64);
+        buf.put_u64_le(self.edges.len() as u64);
+        for &(u, w) in &self.vertices {
+            buf.put_u32_le(u.0);
+            buf.put_f64_le(w);
+        }
+        for &(src, dst, w) in &self.edges {
+            buf.put_u32_le(src.0);
+            buf.put_u32_le(dst.0);
+            buf.put_f64_le(w);
+        }
+        buf.freeze().to_vec()
+    }
+
+    /// Decodes a subgraph produced by [`encode`](Self::encode), verifying
+    /// structure: magic/version, section lengths, id order, and that every
+    /// edge endpoint is a member vertex.
+    pub fn decode(raw: &[u8]) -> Result<SubgraphSnapshot, SnapshotError> {
+        let mut buf = Bytes::from(raw);
+        if buf.remaining() < 24 {
+            return Err(SnapshotError::Corrupt("truncated subgraph header"));
+        }
+        let magic = buf.get_u32_le();
+        if magic != SUBGRAPH_MAGIC {
+            return Err(SnapshotError::BadMagic(magic));
+        }
+        let version = buf.get_u32_le();
+        if version != SUBGRAPH_VERSION {
+            return Err(SnapshotError::BadVersion(version));
+        }
+        let n = buf.get_u64_le() as usize;
+        let m = buf.get_u64_le() as usize;
+        check_section(&buf, n, 12, "truncated subgraph vertex table")?;
+        let mut vertices = Vec::with_capacity(n);
+        let mut member: FxHashSet<u32> = FxHashSet::default();
+        let mut last: Option<u32> = None;
+        for _ in 0..n {
+            let id = buf.get_u32_le();
+            let w = buf.get_f64_le();
+            if last.is_some_and(|prev| prev >= id) {
+                return Err(SnapshotError::Corrupt("subgraph vertices out of order"));
+            }
+            last = Some(id);
+            member.insert(id);
+            vertices.push((VertexId(id), w));
+        }
+        check_section(&buf, m, 16, "truncated subgraph edge table")?;
+        let mut edges = Vec::with_capacity(m);
+        for _ in 0..m {
+            let src = buf.get_u32_le();
+            let dst = buf.get_u32_le();
+            let w = buf.get_f64_le();
+            if !member.contains(&src) || !member.contains(&dst) {
+                return Err(SnapshotError::Corrupt("subgraph edge references unknown vertex"));
+            }
+            edges.push((VertexId(src), VertexId(dst), w));
+        }
+        Ok(SubgraphSnapshot { vertices, edges })
+    }
+
+    /// Replays the subgraph into a fresh [`DynamicGraph`] with **dense**
+    /// local ids (position in `remap` = local id, value = global id),
+    /// ready for a scratch re-peel. Weights are installed verbatim — they
+    /// are already final suspiciousness values, so no metric runs.
+    pub fn replay(&self, remap: &mut Vec<VertexId>) -> Result<DynamicGraph, SnapshotError> {
+        remap.clear();
+        let mut local: FxHashMap<u32, u32> = FxHashMap::default();
+        let mut graph = DynamicGraph::with_capacity(self.vertices.len());
+        for &(u, w) in &self.vertices {
+            local.insert(u.0, remap.len() as u32);
+            remap.push(u);
+            graph.add_vertex(w)?;
+        }
+        for &(src, dst, w) in &self.edges {
+            let (Some(&s), Some(&d)) = (local.get(&src.0), local.get(&dst.0)) else {
+                return Err(SnapshotError::Corrupt("subgraph edge references unknown vertex"));
+            };
+            graph.insert_edge(VertexId(s), VertexId(d), w)?;
+        }
+        Ok(graph)
+    }
 }
 
 #[cfg(test)]
@@ -271,5 +444,101 @@ mod tests {
         let mut restored =
             load_engine(WeightedDensity, SpadeConfig::default(), bytes.as_slice()).unwrap();
         assert_eq!(restored.detect(), crate::state::Detection::EMPTY);
+    }
+
+    /// A path 0-1-2-3 plus a detached heavy pair (8, 9).
+    fn region_graph() -> DynamicGraph {
+        let mut g = DynamicGraph::new();
+        g.ensure_vertex(v(9));
+        for i in 0..4u32 {
+            g.set_vertex_weight(v(i), 0.5 * i as f64).unwrap();
+        }
+        g.insert_edge(v(0), v(1), 1.0).unwrap();
+        g.insert_edge(v(1), v(2), 2.0).unwrap();
+        g.insert_edge(v(2), v(3), 3.0).unwrap();
+        g.insert_edge(v(8), v(9), 50.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn subgraph_extract_respects_hop_budget() {
+        let g = region_graph();
+        let zero = SubgraphSnapshot::extract(&g, &[v(1)], 0);
+        assert_eq!(zero.vertices.len(), 1);
+        assert!(zero.edges.is_empty());
+
+        let one = SubgraphSnapshot::extract(&g, &[v(1)], 1);
+        let ids: Vec<u32> = one.vertices.iter().map(|&(u, _)| u.0).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+        assert_eq!(one.edges.len(), 2, "induced edges of {{0,1,2}}");
+
+        let two = SubgraphSnapshot::extract(&g, &[v(1)], 2);
+        let ids: Vec<u32> = two.vertices.iter().map(|&(u, _)| u.0).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+        assert_eq!(two.edges.len(), 3);
+        // The detached pair never enters any hop expansion of vertex 1.
+        assert!(two.vertices.iter().all(|&(u, _)| u.0 < 8));
+    }
+
+    #[test]
+    fn subgraph_snapshot_roundtrip_is_exact() {
+        let g = region_graph();
+        let snap = SubgraphSnapshot::extract(&g, &[v(1), v(8)], 1);
+        let decoded = SubgraphSnapshot::decode(&snap.encode()).unwrap();
+        assert_eq!(decoded, snap);
+        // Vertex weights and edge weights survive bit-exactly.
+        assert!(decoded.vertices.iter().any(|&(u, w)| u == v(1) && w == 0.5));
+        assert!(decoded.edges.iter().any(|&(s, d, w)| s == v(8) && d == v(9) && w == 50.0));
+    }
+
+    #[test]
+    fn subgraph_replay_builds_a_dense_scratch_graph() {
+        let g = region_graph();
+        let snap = SubgraphSnapshot::extract(&g, &[v(8)], 1);
+        let mut remap = Vec::new();
+        let scratch = snap.replay(&mut remap).unwrap();
+        // Global ids 8 and 9 become local 0 and 1 — no 10-vertex blowup.
+        assert_eq!(scratch.num_vertices(), 2);
+        assert_eq!(remap, vec![v(8), v(9)]);
+        assert_eq!(scratch.num_edges(), 1);
+        assert_eq!(scratch.edge_weight(VertexId(0), VertexId(1)), Some(50.0));
+        // A re-peel of the replayed slice sees the right density.
+        let out = crate::peel::peel(&scratch);
+        assert!((out.best_density - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn subgraph_decode_rejects_malformed_bytes() {
+        let g = region_graph();
+        let snap = SubgraphSnapshot::extract(&g, &[v(1)], 1);
+        let bytes = snap.encode();
+
+        let err = SubgraphSnapshot::decode(&bytes[..bytes.len() - 4]);
+        assert!(matches!(err, Err(SnapshotError::Corrupt(_))));
+
+        let mut wrong_magic = bytes.clone();
+        wrong_magic[0] ^= 0xFF;
+        assert!(matches!(SubgraphSnapshot::decode(&wrong_magic), Err(SnapshotError::BadMagic(_))));
+
+        let mut wrong_version = bytes.clone();
+        wrong_version[4] = 99;
+        assert!(matches!(
+            SubgraphSnapshot::decode(&wrong_version),
+            Err(SnapshotError::BadVersion(99))
+        ));
+
+        // An edge referencing a vertex outside the member table: corrupt
+        // the src id of the first edge (offset: header 24 + 3 vertices
+        // of 12 bytes).
+        let mut dangling = bytes.clone();
+        let edge_off = 24 + 3 * 12;
+        dangling[edge_off..edge_off + 4].copy_from_slice(&77u32.to_le_bytes());
+        assert!(matches!(SubgraphSnapshot::decode(&dangling), Err(SnapshotError::Corrupt(_))));
+
+        // A crafted vertex count whose byte-size multiplication wraps
+        // must fail the section check, not crash on allocation.
+        let mut huge_count = bytes.clone();
+        huge_count[8..16].copy_from_slice(&0x4000_0000_0000_0001u64.to_le_bytes());
+        assert!(matches!(SubgraphSnapshot::decode(&huge_count), Err(SnapshotError::Corrupt(_))));
     }
 }

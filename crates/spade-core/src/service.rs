@@ -102,12 +102,37 @@ pub struct PublishedDetection {
     pub epoch: u64,
 }
 
+/// One shard's candidate-region export: its current detection plus the
+/// k-hop frontier subgraph around it, serialized with the
+/// [`crate::persist`] subgraph codec. This is the unit the cross-shard
+/// repair pass (`crate::shard::repair`) unions and re-peels, and — being
+/// plain bytes — the wire format a distributed backend would ship between
+/// processes.
+#[derive(Clone, Debug)]
+pub struct CandidateRegion {
+    /// Community size at export time.
+    pub size: usize,
+    /// Community density `g(S_P)` on this shard's local graph.
+    pub density: f64,
+    /// Community members (global vertex ids). Shared snapshot — cloning a
+    /// region never copies the member list.
+    pub members: Arc<[VertexId]>,
+    /// Encoded induced subgraph over the community plus its `hops`-hop
+    /// frontier ([`crate::persist::SubgraphSnapshot`] bytes).
+    pub encoded: Vec<u8>,
+    /// Ingest commands this worker had consumed when the region was
+    /// exported.
+    pub updates_applied: u64,
+}
+
 /// The ingest protocol between a service handle and its worker thread.
 enum Command {
     /// One transaction.
     Insert { src: VertexId, dst: VertexId, raw: f64 },
     /// Apply any buffered benign edges now.
     Flush,
+    /// Export the current detection plus a `hops`-hop frontier subgraph.
+    Region { hops: usize, reply: Sender<CandidateRegion> },
     /// Drain and exit.
     Shutdown,
 }
@@ -247,6 +272,30 @@ impl SpadeService {
         self.sender.send(Command::Flush).is_ok()
     }
 
+    /// Exports this worker's candidate region: its current detection plus
+    /// a `hops`-hop frontier of boundary edges, serialized with the
+    /// persist subgraph codec. Blocks until the worker reaches the
+    /// request in its FIFO queue, so the region reflects every
+    /// transaction submitted before this call (grouped benign edges still
+    /// buffered are excluded, exactly as they are from the published
+    /// detection). Returns `None` if the service has shut down.
+    pub fn candidate_region(&self, hops: usize) -> Option<CandidateRegion> {
+        self.request_candidate_region(hops)?.recv().ok()
+    }
+
+    /// Fire-and-collect variant of
+    /// [`candidate_region`](Self::candidate_region): enqueues the export
+    /// request and hands back the reply channel without waiting, so the
+    /// sharded runtime can let all shards drain and extract in parallel.
+    pub(crate) fn request_candidate_region(
+        &self,
+        hops: usize,
+    ) -> Option<Receiver<CandidateRegion>> {
+        let (reply, receiver) = bounded(1);
+        self.sender.send(Command::Region { hops, reply }).ok()?;
+        Some(receiver)
+    }
+
     /// The most recently published detection. O(1): a brief read lock
     /// and an `Arc` pointer clone — never proportional to community
     /// size.
@@ -374,6 +423,25 @@ fn worker_loop<M: DensityMetric + Send + 'static>(
                     if let Some(g) = grouper.as_mut() {
                         let _ = g.flush(&mut engine);
                     }
+                }
+                Command::Region { hops, reply } => {
+                    // Regions reflect everything submitted before the
+                    // request, so drain the staged batch first. Buffered
+                    // benign edges stay buffered — the region must agree
+                    // with the published detection, which excludes them
+                    // too.
+                    apply_batch(&mut engine, &mut batch, &mut updates, &telemetry);
+                    let det = engine.detect();
+                    let members: Arc<[VertexId]> = Arc::from(engine.community(det));
+                    let snapshot =
+                        crate::persist::SubgraphSnapshot::extract(engine.graph(), &members, hops);
+                    let _ = reply.send(CandidateRegion {
+                        size: det.size,
+                        density: det.density,
+                        members,
+                        encoded: snapshot.encode(),
+                        updates_applied: updates,
+                    });
                 }
                 Command::Shutdown => {
                     shutdown = true;

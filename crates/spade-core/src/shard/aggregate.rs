@@ -7,6 +7,7 @@
 //! drill down ("which shard is hot right now?").
 
 use crate::service::PublishedDetection;
+use spade_graph::hash::FxHashSet;
 
 /// One shard's entry in the ranked view.
 #[derive(Clone, Debug)]
@@ -30,8 +31,21 @@ pub struct GlobalDetection {
     /// `ShardedSpadeService::stats`, which takes no snapshot at all.
     pub best: PublishedDetection,
     /// Top-k shards ranked by detection density (descending; ties break
-    /// toward the lower shard index).
+    /// toward the lower shard index). Every shard appears here, even
+    /// when several report overlapping views of one split community —
+    /// use [`GlobalDetection::distinct`] for a deduplicated ranking.
     pub top: Vec<ShardDetection>,
+    /// [`GlobalDetection::top`] with overlapping candidates deduplicated:
+    /// when two shards' member lists intersect (the signature of one
+    /// community split by hash routing), only the densest view survives.
+    /// This is the ranking reports should show — the raw `top` counts the
+    /// same accounts once per shard that sees them.
+    pub distinct: Vec<ShardDetection>,
+    /// Number of distinct members across **all** shard detections: a
+    /// vertex reported by several shards counts once. Always ≤ the sum of
+    /// per-shard detection sizes; a gap between the two is exactly the
+    /// double-counting the repair pass resolves.
+    pub unique_members: usize,
     /// Total updates applied across all shards at snapshot time.
     pub total_updates: u64,
 }
@@ -58,6 +72,15 @@ impl DetectionAggregator {
     /// Merges one snapshot per shard (indexed by position).
     pub fn merge(&self, snapshots: Vec<PublishedDetection>) -> GlobalDetection {
         let total_updates = snapshots.iter().map(|d| d.updates_applied).sum();
+        // Distinct members across every shard view: overlapping shard
+        // detections of one split community count each account once.
+        let mut seen: FxHashSet<u32> = FxHashSet::default();
+        for det in &snapshots {
+            for m in det.members.iter() {
+                seen.insert(m.0);
+            }
+        }
+        let unique_members = seen.len();
         let mut ranked: Vec<ShardDetection> = snapshots
             .into_iter()
             .enumerate()
@@ -71,8 +94,27 @@ impl DetectionAggregator {
             .first()
             .map(|s| (s.shard, s.detection.clone()))
             .unwrap_or((0, PublishedDetection::default()));
+        // Overlap-deduplicated ranking: walking densest-first, a
+        // candidate sharing any member with an already-kept (denser)
+        // candidate is a diluted view of the same community and is
+        // dropped.
+        seen.clear();
+        let mut distinct: Vec<ShardDetection> = Vec::new();
+        for entry in &ranked {
+            if distinct.len() >= self.top_k {
+                break;
+            }
+            let overlaps = entry.detection.members.iter().any(|m| seen.contains(&m.0));
+            if overlaps {
+                continue;
+            }
+            for m in entry.detection.members.iter() {
+                seen.insert(m.0);
+            }
+            distinct.push(entry.clone());
+        }
         ranked.truncate(self.top_k);
-        GlobalDetection { best_shard, best, top: ranked, total_updates }
+        GlobalDetection { best_shard, best, top: ranked, distinct, unique_members, total_updates }
     }
 }
 
@@ -110,5 +152,56 @@ mod tests {
         assert_eq!(global.best.size, 0);
         assert_eq!(global.total_updates, 0);
         assert!(global.top.is_empty());
+        assert!(global.distinct.is_empty());
+        assert_eq!(global.unique_members, 0);
+    }
+
+    fn det_over(members: &[u32], density: f64) -> PublishedDetection {
+        PublishedDetection {
+            size: members.len(),
+            density,
+            members: members.iter().map(|&m| spade_graph::VertexId(m)).collect::<Vec<_>>().into(),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn overlapping_shard_views_dedupe_in_the_distinct_ranking() {
+        // Shards 0 and 2 report overlapping slices of one split
+        // community; shard 1 reports a disjoint one. The raw ranking
+        // keeps all three, the distinct ranking keeps the densest view
+        // per overlap cluster.
+        let agg = DetectionAggregator::new(4);
+        let global = agg.merge(vec![
+            det_over(&[10, 11, 12], 6.0),
+            det_over(&[50, 51], 4.0),
+            det_over(&[12, 13], 9.0),
+        ]);
+        assert_eq!(global.top.len(), 3);
+        let distinct_shards: Vec<usize> = global.distinct.iter().map(|s| s.shard).collect();
+        assert_eq!(distinct_shards, vec![2, 1], "shard 0 overlaps denser shard 2 and is dropped");
+        // 10, 11, 12, 13, 50, 51 — member 12 counted once.
+        assert_eq!(global.unique_members, 6);
+        // `best` is untouched by deduplication.
+        assert_eq!(global.best_shard, 2);
+    }
+
+    #[test]
+    fn disjoint_shard_views_keep_the_full_distinct_ranking() {
+        let agg = DetectionAggregator::new(4);
+        let global =
+            agg.merge(vec![det_over(&[0, 1], 3.0), det_over(&[2, 3], 5.0), det_over(&[4], 1.0)]);
+        assert_eq!(global.distinct.len(), 3);
+        assert_eq!(global.unique_members, 5);
+        assert_eq!(global.distinct[0].shard, 1);
+    }
+
+    #[test]
+    fn distinct_ranking_respects_top_k() {
+        let agg = DetectionAggregator::new(1);
+        let global = agg.merge(vec![det_over(&[0, 1], 3.0), det_over(&[2, 3], 5.0)]);
+        assert_eq!(global.distinct.len(), 1);
+        assert_eq!(global.top.len(), 1);
+        assert_eq!(global.distinct[0].shard, 1);
     }
 }

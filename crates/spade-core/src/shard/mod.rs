@@ -22,12 +22,21 @@
 //!   N worker engines behind bounded queues reusing the single-service
 //!   worker loop;
 //! * [`aggregate`] — merging per-shard snapshots into a global
-//!   densest-community view with per-shard statistics.
+//!   densest-community view with per-shard statistics;
+//! * [`repair`] — the cross-shard community repair pass: per-shard
+//!   candidate regions (community + k-hop frontier, persist-codec bytes)
+//!   unioned and re-peeled so hash-split communities recover
+//!   single-engine exactness.
 
 pub mod aggregate;
 pub mod partition;
+pub mod repair;
 pub mod service;
 
 pub use aggregate::{DetectionAggregator, GlobalDetection, ShardDetection};
 pub use partition::{ConnectivityPartitioner, HashPartitioner, PartitionStrategy, Partitioner};
+pub use repair::{
+    repair_regions, RegionSummary, RepairConfig, RepairOutcome, RepairScratch, RepairStats,
+    RepairedDetection,
+};
 pub use service::{ShardStats, ShardedConfig, ShardedSpadeService};

@@ -10,6 +10,7 @@ use spade::core::{
     SpadeConfig, SpadeEngine, SpadeService, TimeWindowDetector, WeightedDensity, WindowRecord,
 };
 use spade::graph::VertexId;
+use spade::shard::{PartitionStrategy, ShardedConfig, ShardedSpadeService};
 
 fn v(i: u32) -> VertexId {
     VertexId(i)
@@ -219,6 +220,79 @@ proptest! {
         let (d1, d2) = (restored.detect(), engine.cached_detection());
         prop_assert_eq!(d1.size, d2.size);
         prop_assert!((d1.density - d2.density).abs() < 1e-9);
+    }
+
+    /// Cross-shard repair recovers single-engine exactness under hash
+    /// routing: for any generated background traffic, any planted
+    /// dominant ring (whose ids hash across shards and split it), and
+    /// any shard count, the repaired detection (a) is never less dense
+    /// than the best per-shard view — the provable floor — and (b)
+    /// equals the solo engine's detection exactly, members and density.
+    #[test]
+    fn repaired_detection_matches_solo_engine(
+        background in proptest::collection::vec((0u32..40, 0u32..40, 1u8..10), 0..40),
+        links in proptest::collection::vec((0u32..40, 0u32..6), 0..4),
+        base in 100u32..160,
+        stride in 1u32..40,
+        ring in 3usize..6,
+        shards in 2usize..5,
+    ) {
+        // Planted ring: every ordered pair at weight 50 — dominant over
+        // the background (≤ 40 edges of ≤ 1.0 plus ≤ 4 weak links), so
+        // every shard's slice of the ring is locally densest and the
+        // solo detection is exactly the ring.
+        let ring_ids: Vec<u32> = (0..ring as u32).map(|i| base + i * stride).collect();
+        let mut edges: Vec<(VertexId, VertexId, f64)> = Vec::new();
+        for &(a, b, w) in &background {
+            if a != b {
+                edges.push((v(a), v(b), w as f64 / 10.0));
+            }
+        }
+        for &(bg, r) in &links {
+            edges.push((v(bg), v(ring_ids[r as usize % ring_ids.len()]), 0.1));
+        }
+        for &a in &ring_ids {
+            for &b in &ring_ids {
+                if a != b {
+                    edges.push((v(a), v(b), 50.0));
+                }
+            }
+        }
+
+        let mut solo = SpadeEngine::new(WeightedDensity);
+        for &(a, b, w) in &edges {
+            solo.insert_edge(a, b, w).unwrap();
+        }
+        let want = solo.detect();
+        let mut want_members: Vec<u32> = solo.community(want).iter().map(|m| m.0).collect();
+        want_members.sort_unstable();
+
+        let service = ShardedSpadeService::spawn(
+            WeightedDensity,
+            ShardedConfig {
+                shards,
+                strategy: PartitionStrategy::HashBySource,
+                ..Default::default()
+            },
+        );
+        for &(a, b, w) in &edges {
+            prop_assert!(service.submit(a, b, w));
+        }
+        let repaired = service.repair();
+        let global = service.shutdown();
+
+        // (a) the provable floor: repaired ≥ every per-shard view.
+        prop_assert!(repaired.detection.density >= repaired.baseline_density - 1e-9);
+        prop_assert!(repaired.detection.density >= global.best.density - 1e-9);
+        // (b) exactness: the repaired community is the solo community.
+        let got: Vec<u32> = repaired.detection.members.iter().map(|m| m.0).collect();
+        prop_assert_eq!(got, want_members);
+        prop_assert!(
+            (repaired.detection.density - want.density).abs() < 1e-9,
+            "repaired {} vs solo {}",
+            repaired.detection.density,
+            want.density
+        );
     }
 
     /// Arbitrary time-window moves match a fresh bootstrap of the window.

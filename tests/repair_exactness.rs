@@ -1,0 +1,118 @@
+//! The `cross-shard-exactness` CI gate: hash-routed sharding dilutes a
+//! seeded injected fraud ring across N shards, and the cross-shard
+//! repair pass must recover the **exact** solo-engine answer — same
+//! members, same density — for N ∈ {2, 4, 8}.
+//!
+//! Kept as its own integration test (and its own named CI job) so a
+//! regression here reads as "repair lost exactness", not as a generic
+//! test failure.
+
+use spade::core::stream::StreamEdge;
+use spade::core::{SpadeEngine, WeightedDensity};
+use spade::gen::fraud::{FraudInjector, FraudInjectorConfig};
+use spade::gen::transactions::{TransactionStream, TransactionStreamConfig};
+use spade::shard::{PartitionStrategy, ShardedConfig, ShardedSpadeService};
+
+/// The seeded dataset: a Zipf marketplace stream with one injected
+/// high-amount collusion burst per pattern. Seeds are fixed — every run
+/// of this gate replays the identical stream.
+fn seeded_injected_stream() -> Vec<StreamEdge> {
+    let base = TransactionStream::generate(&TransactionStreamConfig {
+        customers: 600,
+        merchants: 200,
+        transactions: 6_000,
+        seed: 0xC1_5EED,
+        ..Default::default()
+    });
+    let injected = FraudInjector::inject(
+        &base,
+        &FraudInjectorConfig {
+            instances_per_pattern: 1,
+            transactions_per_instance: 240,
+            amount: 600.0,
+            seed: 0xC1_5EED,
+            ..Default::default()
+        },
+    );
+    injected.edges
+}
+
+/// Solo-engine ground truth over the same stream (malformed edges
+/// dropped exactly as the shard workers drop them).
+fn solo_detection(edges: &[StreamEdge]) -> (usize, f64, Vec<u32>) {
+    let mut solo = SpadeEngine::new(WeightedDensity);
+    for e in edges {
+        let _ = solo.insert_edge(e.src, e.dst, e.raw);
+    }
+    let det = solo.detect();
+    let mut members: Vec<u32> = solo.community(det).iter().map(|m| m.0).collect();
+    members.sort_unstable();
+    (det.size, det.density, members)
+}
+
+fn assert_exact_after_repair(shards: usize) {
+    let edges = seeded_injected_stream();
+    let (want_size, want_density, want_members) = solo_detection(&edges);
+    assert!(want_size > 0, "the seeded dataset must contain a detectable community");
+
+    let service = ShardedSpadeService::spawn(
+        WeightedDensity,
+        ShardedConfig {
+            shards,
+            queue_capacity: 4096,
+            strategy: PartitionStrategy::HashBySource,
+            ..Default::default()
+        },
+    );
+    for e in &edges {
+        assert!(service.submit(e.src, e.dst, e.raw));
+    }
+    let repaired = service.repair();
+    let global = service.shutdown();
+    assert_eq!(global.total_updates, edges.len() as u64);
+
+    // The premise of the gate: hash routing actually dilutes — the best
+    // per-shard view is strictly below the solo answer.
+    assert!(
+        repaired.baseline_density < want_density * (1.0 - 1e-9),
+        "N={shards}: expected dilution, got baseline {} vs solo {}",
+        repaired.baseline_density,
+        want_density
+    );
+
+    // The gate itself: repaired == solo, members and density.
+    let got: Vec<u32> = repaired.detection.members.iter().map(|m| m.0).collect();
+    assert_eq!(got, want_members, "N={shards}: repaired members diverge from the solo engine");
+    assert_eq!(repaired.detection.size, want_size, "N={shards}: size mismatch");
+    assert!(
+        (repaired.detection.density - want_density).abs() < 1e-9,
+        "N={shards}: repaired density {} vs solo {}",
+        repaired.detection.density,
+        want_density
+    );
+    assert!(
+        repaired.repaired,
+        "N={shards}: a split community must be recovered by a union re-peel, \
+         not by a lucky single shard"
+    );
+    println!(
+        "N={shards}: diluted best-shard density {:.3} repaired to {:.3} \
+         (solo {:.3}, {} members)",
+        repaired.baseline_density, repaired.detection.density, want_density, want_size
+    );
+}
+
+#[test]
+fn hash_split_fraud_ring_is_repaired_exactly_across_2_shards() {
+    assert_exact_after_repair(2);
+}
+
+#[test]
+fn hash_split_fraud_ring_is_repaired_exactly_across_4_shards() {
+    assert_exact_after_repair(4);
+}
+
+#[test]
+fn hash_split_fraud_ring_is_repaired_exactly_across_8_shards() {
+    assert_exact_after_repair(8);
+}

@@ -220,3 +220,70 @@ fn hash_partitioning_still_aggregates_exactly_and_detects_something() {
     // diluted but never zero — each shard still sees a dense slice).
     assert!(global.best.density > 1.0);
 }
+
+#[test]
+fn repair_pass_restores_hash_split_ring_to_single_engine_answer() {
+    let stream = ring_stream();
+
+    let single = SpadeService::spawn(SpadeEngine::new(WeightedDensity), None, 256);
+    for &(a, b, w) in &stream {
+        assert!(single.submit(a, b, w));
+    }
+    let want = single.shutdown();
+    let want_members: HashSet<u32> = want.members.iter().map(|m| m.0).collect();
+
+    let config = ShardedConfig {
+        shards: 4,
+        strategy: PartitionStrategy::HashBySource,
+        ..Default::default()
+    };
+    let sharded = ShardedSpadeService::spawn(WeightedDensity, config);
+    for &(a, b, w) in &stream {
+        assert!(sharded.submit(a, b, w));
+    }
+    let (global, repaired) = sharded.shutdown_repaired();
+    assert_eq!(global.total_updates, stream.len() as u64);
+    assert_eq!(repaired.detection.updates_applied, stream.len() as u64);
+
+    // The repaired snapshot is exactly the single-engine detection, even
+    // though hash routing scattered the ring's edges across all shards.
+    assert_eq!(repaired.detection.size, want.size);
+    assert!((repaired.detection.density - want.density).abs() < 1e-9);
+    let got_members: HashSet<u32> = repaired.detection.members.iter().map(|m| m.0).collect();
+    assert_eq!(got_members, want_members);
+    // And it can only improve on the diluted per-shard maximum.
+    assert!(repaired.detection.density >= global.best.density - 1e-9);
+    assert!(repaired.detection.density >= repaired.baseline_density - 1e-9);
+}
+
+#[test]
+fn overlapping_shard_views_are_deduped_in_the_global_ranking() {
+    // Every shard pre-seeded with the SAME community: the raw ranking
+    // reports it once per shard, the distinct ranking exactly once, and
+    // unique_members counts each account once.
+    let config = ShardedConfig {
+        shards: 3,
+        strategy: PartitionStrategy::HashBySource,
+        top_k: 3,
+        ..Default::default()
+    };
+    let service = ShardedSpadeService::spawn_with(config, |_| {
+        let mut engine = SpadeEngine::new(WeightedDensity);
+        for a in 900..904u32 {
+            for b in 900..904u32 {
+                if a != b {
+                    engine.insert_edge(v(a), v(b), 40.0).unwrap();
+                }
+            }
+        }
+        engine
+    });
+    for i in 0..6u32 {
+        assert!(service.submit(v(i), v(i + 1), 0.5));
+    }
+    let global = service.shutdown();
+    assert_eq!(global.top.len(), 3, "raw ranking keeps every shard");
+    assert_eq!(global.distinct.len(), 1, "identical views collapse to the densest");
+    assert_eq!(global.unique_members, 4, "members are counted once, not once per shard");
+    assert_eq!(global.distinct[0].shard, global.best_shard);
+}
