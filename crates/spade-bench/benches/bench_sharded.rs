@@ -133,5 +133,54 @@ fn bench_repair_pass(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_shard_sweep, bench_repair_pass);
+/// Component migration latency: the cost of one extract → evict → replay
+/// cycle (what a strand repair or load-balance move pays per component),
+/// and the cost of the scheduler's idle check. The stream is replayed
+/// once per shard count through the connectivity partitioner; each
+/// migration iteration ping-pongs the dominant fraud component between
+/// two shards, so every hop moves the full slice over live engines.
+fn bench_migration_pass(c: &mut Criterion) {
+    let edges = workload();
+    let mut group = c.benchmark_group("component_migration");
+    group.sample_size(10);
+    for shards in [2usize, 4, 8] {
+        let config = ShardedConfig {
+            shards,
+            queue_capacity: 4096,
+            strategy: PartitionStrategy::ConnectivityWithSpill { max_component: 4096 },
+            top_k: shards,
+            ..Default::default()
+        };
+        let service = ShardedSpadeService::spawn(WeightedDensity, config);
+        for e in &edges {
+            service.submit(e.src, e.dst, e.raw);
+        }
+        // Settle: one rebalance drains every queue and repairs any
+        // strands the replay produced, so iterations measure migration
+        // over a stable fleet.
+        let _ = service.rebalance();
+        let member = service.current_detection().best.members.first().copied();
+        let Some(member) = member else {
+            service.shutdown();
+            continue;
+        };
+        let mut target = 0usize;
+        group.bench_function(BenchmarkId::new("migrate_component", shards), |b| {
+            b.iter(|| {
+                let moved = service.migrate_component(member, target);
+                target = (target + 1) % shards;
+                moved
+            });
+        });
+        group.bench_function(BenchmarkId::new("idle_check", shards), |b| {
+            b.iter(|| {
+                assert!(service.rebalance_if_needed().is_none());
+            });
+        });
+        service.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shard_sweep, bench_repair_pass, bench_migration_pass);
 criterion_main!(benches);

@@ -3,8 +3,8 @@
 use crate::args::Args;
 use spade_core::metric::{DensityMetric, Fraudar, UnweightedDensity, WeightedDensity};
 use spade_core::{
-    load_engine, save_engine, EdgeGrouper, GroupingConfig, PartitionStrategy, RepairConfig,
-    RepairedDetection, ShardedConfig, ShardedSpadeService, SpadeConfig, SpadeEngine,
+    load_engine, save_engine, EdgeGrouper, GroupingConfig, MigrationReport, PartitionStrategy,
+    RepairConfig, RepairedDetection, ShardedConfig, ShardedSpadeService, SpadeConfig, SpadeEngine,
 };
 use spade_gen::datasets::DatasetSpec;
 use spade_graph::io::{read_edge_list, EdgeRecord};
@@ -78,12 +78,13 @@ pub fn print_help() {
 
 USAGE:
   spade detect   <edges.txt> [--metric dg|dw|fd] [--top N] [--shards N]
-                 [--repair] [--repair-hops K]
+                 [--repair] [--repair-hops K] [--rebalance]
   spade stream   <edges.txt> [--metric dg|dw|fd] [--initial 0.9]
                  [--batch N | --grouping]
   spade serve    <edges.txt> [--shards N] [--metric dg|dw|fd] [--grouping]
-                 [--queue N] [--coalesce N] [--partitioner hash|connectivity]
-                 [--top N] [--repair] [--repair-hops K]
+                 [--queue N] [--coalesce N]
+                 [--partition hash|connectivity|conn:<max_component>]
+                 [--top N] [--repair] [--repair-hops K] [--rebalance]
   spade gen      [--dataset Grab1] [--scale 0.01] [--seed 42] [--out FILE]
   spade snapshot <edges.txt> --out FILE [--metric dg|dw|fd]
   spade resume   <FILE> [--metric dg|dw|fd] [--top N]
@@ -96,11 +97,18 @@ communities (overlapping shard views of one split community are deduped).
 `detect --shards N` routes the same static input through N shards instead
 of one engine. `--coalesce N` caps how many queued transactions a shard
 worker drains and applies as one batch per wake-up (default 256; 1 =
-per-edge processing). `--repair` runs the cross-shard repair pass after
-the replay: every shard exports its community plus a `--repair-hops`
-frontier (default 1), overlapping regions are unioned and re-peeled, and
-the repaired detection — never less dense than the best per-shard view —
-is reported alongside the dilution it recovered.
+per-edge processing). `--partition` picks the routing policy
+(`--partitioner` is accepted as an alias); `conn:<max_component>` sets
+the connectivity policy's spill bound explicitly. `--repair` runs the
+cross-shard repair pass after the replay: every shard exports its
+community plus a `--repair-hops` frontier (default 1), overlapping
+regions are unioned and re-peeled, and the repaired detection — never
+less dense than the best per-shard view — is reported alongside the
+dilution it recovered. `--rebalance` turns on the live migration
+scheduler: components whose merge stranded edges on a losing home are
+moved whole onto their surviving shard (extract, evict, replay through
+the snapshot codec), and overloaded shards shed their largest pinned
+component; a final pass runs before the report.
 
 Edge lists are whitespace-separated `src dst [raw] [timestamp]` lines."
     );
@@ -144,13 +152,21 @@ fn print_communities<M: DensityMetric>(engine: &mut SpadeEngine<M>, top: usize) 
 }
 
 /// Builds a [`ShardedConfig`] from the shared `--shards`, `--queue`,
-/// `--partitioner` and `--grouping` options.
+/// `--partition` (alias `--partitioner`) and `--grouping` options.
 fn sharded_config_from(args: &Args, shards: usize) -> Result<ShardedConfig, AnyError> {
-    let strategy = match args.options.get("partitioner") {
-        Some(name) if !name.is_empty() => PartitionStrategy::from_name(name).ok_or_else(|| {
-            format!("unknown partitioner {name:?} (expected hash or connectivity)")
+    let named = args
+        .options
+        .get("partition")
+        .or_else(|| args.options.get("partitioner"))
+        .filter(|name| !name.is_empty());
+    let strategy = match named {
+        Some(name) => PartitionStrategy::from_name(name).ok_or_else(|| {
+            format!(
+                "unknown partitioner {name:?} (expected hash, connectivity, or \
+                 conn:<max_component>)"
+            )
         })?,
-        _ => PartitionStrategy::default(),
+        None => PartitionStrategy::default(),
     };
     Ok(ShardedConfig {
         shards,
@@ -163,6 +179,7 @@ fn sharded_config_from(args: &Args, shards: usize) -> Result<ShardedConfig, AnyE
             hops: args.num_opt("repair-hops", RepairConfig::default().hops)?,
             ..Default::default()
         },
+        migration: Default::default(),
     })
 }
 
@@ -175,6 +192,7 @@ fn print_sharded_report(
     replayed: usize,
     top: usize,
     repaired: Option<&RepairedDetection>,
+    rebalanced: Option<&MigrationReport>,
 ) {
     let stats = service.stats();
     let global = service.current_detection();
@@ -268,6 +286,26 @@ fn print_sharded_report(
             sample.join(","),
         );
     }
+    if let Some(r) = rebalanced {
+        let stats = service.migration_stats();
+        println!(
+            "rebalance: {} migration(s) ({} strand repair(s), {} load move(s)), {} edges \
+             moved, {} empty slice(s) skipped, routing epoch {}",
+            stats.migrations,
+            stats.strand_repairs,
+            stats.load_moves,
+            stats.edges_moved,
+            stats.skipped_empty,
+            service.routing_epoch(),
+        );
+        for m in &r.moves {
+            println!(
+                "  moved component of {} vertices / {} edges (weight {:.1}) from shard {} to \
+                 shard {} ({:?})",
+                m.vertices, m.edges, m.edge_weight, m.from, m.to, m.trigger,
+            );
+        }
+    }
 }
 
 /// `spade serve`: replay an edge list through the sharded parallel
@@ -304,6 +342,7 @@ fn run_sharded(args: &Args, shards: usize, path_error: &'static str) -> Result<(
     if !service.flush() {
         return Err("a shard shut down while flushing".into());
     }
+    let rebalance = args.flag("rebalance");
     let mut next_liveness = Instant::now() + std::time::Duration::from_millis(100);
     while service.stats().iter().map(|s| s.service.updates_applied).sum::<u64>()
         < records.len() as u64
@@ -312,15 +351,30 @@ fn run_sharded(args: &Args, shards: usize, path_error: &'static str) -> Result<(
             if !service.flush() {
                 return Err("a shard shut down while draining".into());
             }
+            if rebalance {
+                // Live scheduling: strand events and load skew observed
+                // so far are acted on while the drain continues.
+                let _ = service.rebalance_if_needed();
+            }
             next_liveness = Instant::now() + std::time::Duration::from_millis(100);
         }
         std::thread::sleep(std::time::Duration::from_millis(1));
     }
-    // Sample the replay clock before the (blocking) repair pass so the
-    // reported tx/s measures ingest alone.
+    // Sample the replay clock before the (blocking) rebalance/repair
+    // passes so the reported tx/s measures ingest alone.
     let elapsed_secs = started.elapsed().as_secs_f64();
+    // Rebalance before repair: once stranded slices are home, the repair
+    // pass sees whole components and its regions stay small.
+    let rebalanced = rebalance.then(|| service.rebalance());
     let repaired = if args.flag("repair") { Some(service.repair()) } else { None };
-    print_sharded_report(&service, elapsed_secs, records.len(), top, repaired.as_ref());
+    print_sharded_report(
+        &service,
+        elapsed_secs,
+        records.len(),
+        top,
+        repaired.as_ref(),
+        rebalanced.as_ref(),
+    );
     service.shutdown();
     Ok(())
 }
@@ -575,6 +629,48 @@ mod tests {
             "serve {path} --shards 2 --partitioner hash --repair --repair-hops 2"
         )))
         .unwrap();
+    }
+
+    /// Two fraud half-rings that merge through late bridge edges: the
+    /// connectivity-routed replay strands the losing half until a
+    /// rebalance pass migrates it.
+    fn write_merging_edges(dir: &std::path::Path) -> String {
+        let path = dir.join("merge.txt");
+        let mut content = String::new();
+        for i in 0..6 {
+            content.push_str(&format!("u{i} u{} 1.0 {i}\n", i + 1));
+        }
+        for half in ["a", "b"] {
+            for x in 0..3 {
+                for y in 0..3 {
+                    if x != y {
+                        content.push_str(&format!("{half}{x} {half}{y} 25.0 50\n"));
+                    }
+                }
+            }
+        }
+        content.push_str("a0 b0 25.0 90\n");
+        content.push_str("b1 a2 25.0 91\n");
+        std::fs::write(&path, content).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn rebalance_flag_runs_the_migration_scheduler() {
+        let dir = temp_dir();
+        let path = write_merging_edges(&dir);
+        serve(&args(&format!("serve {path} --shards 2 --rebalance"))).unwrap();
+        detect(&args(&format!("detect {path} --shards 4 --rebalance --repair"))).unwrap();
+    }
+
+    #[test]
+    fn partition_flag_accepts_aliases_and_spill_bounds() {
+        let dir = temp_dir();
+        let path = write_sample_edges(&dir);
+        serve(&args(&format!("serve {path} --shards 2 --partition hash"))).unwrap();
+        serve(&args(&format!("serve {path} --shards 2 --partition conn:64"))).unwrap();
+        serve(&args(&format!("serve {path} --shards 2 --partitioner connectivity"))).unwrap();
+        assert!(serve(&args(&format!("serve {path} --shards 2 --partition conn:x"))).is_err());
     }
 
     #[test]

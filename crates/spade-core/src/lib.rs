@@ -28,10 +28,14 @@ pub use metric::{CustomMetric, DensityMetric, Fraudar, UnweightedDensity, Weight
 pub use peel::{peel, peel_with_queue, PeelingOutcome};
 pub use persist::{load_engine, save_engine, SnapshotError, SubgraphSnapshot};
 pub use reorder::{ReorderScratch, ReorderStats};
-pub use service::{CandidateRegion, IngestConfig, PublishedDetection, ServiceStats, SpadeService};
+pub use service::{
+    AbsorbReceipt, CandidateRegion, IngestConfig, MigrationSlice, PublishedDetection, ServiceStats,
+    SpadeService,
+};
 pub use shard::{
-    GlobalDetection, PartitionStrategy, Partitioner, RepairConfig, RepairStats, RepairedDetection,
-    ShardStats, ShardedConfig, ShardedSpadeService,
+    GlobalDetection, MigrationPolicy, MigrationReport, MigrationStats, PartitionStrategy,
+    Partitioner, RepairConfig, RepairStats, RepairedDetection, ShardStats, ShardedConfig,
+    ShardedSpadeService, StrandEvent,
 };
 pub use spade::{Spade, SpadeBuilder};
 pub use state::{Detection, PeelingState};

@@ -269,6 +269,33 @@ impl SubgraphSnapshot {
         SubgraphSnapshot { vertices, edges }
     }
 
+    /// `true` when the snapshot carries no structure worth shipping: no
+    /// edges and no vertex with positive suspiciousness.
+    pub fn is_trivial(&self) -> bool {
+        self.edges.is_empty() && self.vertices.iter().all(|&(_, w)| w == 0.0)
+    }
+
+    /// Sum of all edge suspiciousness in the snapshot.
+    pub fn edge_weight_total(&self) -> f64 {
+        self.edges.iter().map(|&(_, _, w)| w).sum()
+    }
+
+    /// Drops zero-weight vertices that no edge touches. A dense-id
+    /// engine materializes every vertex id below the largest one it has
+    /// seen, so an extraction over a component's global member list
+    /// includes members this shard never actually received an edge for —
+    /// pruning them keeps migration slices (and the vertex tables the
+    /// target engine grows) proportional to what the source shard really
+    /// holds. Sorted order is preserved.
+    pub fn prune_isolated(&mut self) {
+        let mut touched: FxHashSet<u32> = FxHashSet::default();
+        for &(src, dst, _) in &self.edges {
+            touched.insert(src.0);
+            touched.insert(dst.0);
+        }
+        self.vertices.retain(|&(u, w)| w > 0.0 || touched.contains(&u.0));
+    }
+
     /// Serializes the subgraph with the same length-prefixed
     /// little-endian layout as the engine snapshot.
     pub fn encode(&self) -> Vec<u8> {
@@ -505,6 +532,32 @@ mod tests {
         // A re-peel of the replayed slice sees the right density.
         let out = crate::peel::peel(&scratch);
         assert!((out.best_density - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prune_isolated_keeps_weighted_and_connected_vertices() {
+        let g = region_graph();
+        // Seeds include 5..8: vertex 5 is isolated *and* zero-weight in
+        // the region graph (materialized by ensure_vertex), so it must be
+        // pruned; 8 keeps its edge, 0..3 keep weights or edges.
+        let mut snap =
+            SubgraphSnapshot::extract(&g, &[v(0), v(1), v(2), v(3), v(5), v(8), v(9)], 0);
+        assert!(snap.vertices.iter().any(|&(u, _)| u == v(5)));
+        snap.prune_isolated();
+        let ids: Vec<u32> = snap.vertices.iter().map(|&(u, _)| u.0).collect();
+        // 0 has weight 0.0 but carries an edge; 1..3 have weights; 5 is
+        // dropped; 8 and 9 carry the heavy edge.
+        assert_eq!(ids, vec![0, 1, 2, 3, 8, 9]);
+        // Roundtrip still validates after pruning.
+        let decoded = SubgraphSnapshot::decode(&snap.encode()).unwrap();
+        assert_eq!(decoded, snap);
+        assert!(!snap.is_trivial());
+        assert!((snap.edge_weight_total() - 56.0).abs() < 1e-12);
+
+        let mut empty = SubgraphSnapshot::extract(&g, &[v(5)], 0);
+        empty.prune_isolated();
+        assert!(empty.vertices.is_empty());
+        assert!(empty.is_trivial());
     }
 
     #[test]

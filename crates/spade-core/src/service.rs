@@ -42,7 +42,7 @@ use crate::engine::SpadeEngine;
 use crate::grouping::{EdgeGrouper, GroupingConfig};
 use crate::metric::DensityMetric;
 use crate::state::Detection;
-use crossbeam::channel::{bounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use parking_lot::RwLock;
 use spade_graph::VertexId;
 use std::any::Any;
@@ -125,6 +125,47 @@ pub struct CandidateRegion {
     pub updates_applied: u64,
 }
 
+/// A component slice leaving its source shard: the induced subgraph over
+/// the migrated members (vertex suspiciousness + every member-to-member
+/// edge this shard held), serialized with the [`crate::persist`] subgraph
+/// codec, already **evicted** from the source engine when this value is
+/// produced. Replaying it into another shard's engine completes the move
+/// — see `crate::shard::migrate`.
+#[derive(Clone, Debug)]
+pub struct MigrationSlice {
+    /// Encoded [`crate::persist::SubgraphSnapshot`] bytes (isolated
+    /// zero-weight members pruned).
+    pub encoded: Vec<u8>,
+    /// Vertices carried by the slice after pruning.
+    pub vertices: usize,
+    /// Member-to-member edges carried (and evicted at the source).
+    pub edges: usize,
+    /// Total edge suspiciousness carried.
+    pub edge_weight: f64,
+    /// Ingest commands the source worker had consumed at export.
+    pub updates_applied: u64,
+}
+
+impl MigrationSlice {
+    /// `true` when the source shard held nothing of the component — no
+    /// edges, no positive vertex weight — so there is nothing to absorb.
+    pub fn is_empty(&self) -> bool {
+        self.vertices == 0 && self.edges == 0
+    }
+}
+
+/// What a target shard did with an absorbed [`MigrationSlice`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AbsorbReceipt {
+    /// Slice vertices materialized or re-weighted on the target.
+    pub vertices_touched: usize,
+    /// Slice edges applied (accumulated onto any weight the target
+    /// already held for the same ordered pair).
+    pub edges_applied: usize,
+    /// Slice entries dropped (undecodable bytes or invalid weights).
+    pub rejected: u64,
+}
+
 /// The ingest protocol between a service handle and its worker thread.
 enum Command {
     /// One transaction.
@@ -133,6 +174,12 @@ enum Command {
     Flush,
     /// Export the current detection plus a `hops`-hop frontier subgraph.
     Region { hops: usize, reply: Sender<CandidateRegion> },
+    /// Extract the induced slice over `members`, evict it from this
+    /// engine, and hand the encoded slice back (the source half of a
+    /// component migration).
+    MigrateOut { members: Arc<[VertexId]>, reply: Sender<MigrationSlice> },
+    /// Replay a migrated slice into this engine (the target half).
+    Absorb { slice: MigrationSlice, reply: Sender<AbsorbReceipt> },
     /// Drain and exit.
     Shutdown,
 }
@@ -188,6 +235,17 @@ pub struct ServiceStats {
     pub detection_size: usize,
     /// Density of the last published detection.
     pub detection_density: f64,
+}
+
+/// Outcome of a non-blocking submit attempt.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum TrySubmit {
+    /// The transaction was enqueued.
+    Queued,
+    /// The ingest queue is at capacity; the service is alive.
+    Full,
+    /// The service has shut down.
+    Closed,
 }
 
 /// Handle to a running detection service.
@@ -267,6 +325,17 @@ impl SpadeService {
         self.sender.send(Command::Insert { src, dst, raw }).is_ok()
     }
 
+    /// Non-blocking [`submit`](Self::submit): enqueues only if the queue
+    /// has space right now. The sharded runtime uses this so its routing
+    /// lock is never held across a back-pressure wait.
+    pub(crate) fn try_submit(&self, src: VertexId, dst: VertexId, raw: f64) -> TrySubmit {
+        match self.sender.try_send(Command::Insert { src, dst, raw }) {
+            Ok(()) => TrySubmit::Queued,
+            Err(TrySendError::Full(_)) => TrySubmit::Full,
+            Err(TrySendError::Disconnected(_)) => TrySubmit::Closed,
+        }
+    }
+
     /// Asks the worker to flush any buffered benign edges.
     pub fn flush(&self) -> bool {
         self.sender.send(Command::Flush).is_ok()
@@ -294,6 +363,39 @@ impl SpadeService {
         let (reply, receiver) = bounded(1);
         self.sender.send(Command::Region { hops, reply }).ok()?;
         Some(receiver)
+    }
+
+    /// Extracts and **evicts** the induced slice over `members` from this
+    /// worker's engine, returning the encoded slice (the source half of a
+    /// component migration — see `crate::shard::migrate`). Blocks until
+    /// the worker reaches the request in its FIFO queue, so the slice
+    /// covers every transaction submitted before this call, including
+    /// grouped benign edges (the worker flushes its buffer first).
+    /// Returns `None` if the service has shut down.
+    pub fn migrate_out(&self, members: Arc<[VertexId]>) -> Option<MigrationSlice> {
+        self.request_migrate_out(members)?.recv().ok()
+    }
+
+    /// Fire-and-collect variant of [`migrate_out`](Self::migrate_out):
+    /// enqueues the request and hands back the reply channel. The sharded
+    /// runtime enqueues this **under its routing lock** so the marker is
+    /// ordered after every edge routed to this shard before a rehome.
+    pub(crate) fn request_migrate_out(
+        &self,
+        members: Arc<[VertexId]>,
+    ) -> Option<Receiver<MigrationSlice>> {
+        let (reply, receiver) = bounded(1);
+        self.sender.send(Command::MigrateOut { members, reply }).ok()?;
+        Some(receiver)
+    }
+
+    /// Replays a migrated slice into this worker's engine (the target
+    /// half of a component migration). Returns `None` if the service has
+    /// shut down.
+    pub fn absorb(&self, slice: MigrationSlice) -> Option<AbsorbReceipt> {
+        let (reply, receiver) = bounded(1);
+        self.sender.send(Command::Absorb { slice, reply }).ok()?;
+        receiver.recv().ok()
     }
 
     /// The most recently published detection. O(1): a brief read lock
@@ -443,6 +545,47 @@ fn worker_loop<M: DensityMetric + Send + 'static>(
                         updates_applied: updates,
                     });
                 }
+                Command::MigrateOut { members, reply } => {
+                    // Everything submitted before this marker must be in
+                    // the slice: drain the staged batch AND the grouping
+                    // buffer (a benign edge of a migrated member left in
+                    // the buffer would resurrect on this shard after the
+                    // eviction and be stranded for good).
+                    apply_batch(&mut engine, &mut batch, &mut updates, &telemetry);
+                    if let Some(g) = grouper.as_mut() {
+                        let _ = g.flush(&mut engine);
+                    }
+                    sync_flush_count(&grouper, &telemetry);
+                    let mut snapshot =
+                        crate::persist::SubgraphSnapshot::extract(engine.graph(), &members, 0);
+                    snapshot.prune_isolated();
+                    // Eviction cannot fail on a live single-threaded
+                    // graph (every collected edge exists, every weight
+                    // clears to zero) — and shipping an extracted slice
+                    // after a PARTIAL eviction would double-count the
+                    // remainder fleet-wide, so a failure here must be
+                    // loud, not limped past.
+                    engine
+                        .remove_member_slice(&members)
+                        .expect("slice eviction cannot fail on a live graph");
+                    publisher.publish(&mut engine, &shared, updates, &telemetry);
+                    let _ = reply.send(MigrationSlice {
+                        vertices: snapshot.vertices.len(),
+                        edges: snapshot.edges.len(),
+                        edge_weight: snapshot.edge_weight_total(),
+                        encoded: snapshot.encode(),
+                        updates_applied: updates,
+                    });
+                }
+                Command::Absorb { slice, reply } => {
+                    apply_batch(&mut engine, &mut batch, &mut updates, &telemetry);
+                    let receipt = absorb_slice(&mut engine, &slice);
+                    if receipt.rejected > 0 {
+                        telemetry.rejected.fetch_add(receipt.rejected, Ordering::Relaxed);
+                    }
+                    publisher.publish(&mut engine, &shared, updates, &telemetry);
+                    let _ = reply.send(receipt);
+                }
                 Command::Shutdown => {
                     shutdown = true;
                     break;
@@ -474,6 +617,41 @@ fn worker_loop<M: DensityMetric + Send + 'static>(
         publisher.publish(&mut engine, &shared, updates, &telemetry);
     }
     let _ = engine_tx.send(Box::new(engine));
+}
+
+/// Replays a migrated slice into `engine`: vertex suspiciousness is
+/// installed max-wise (both shards evaluated the same metric prior, so
+/// the maximum is exact for the built-ins and conservative otherwise),
+/// edge weights **accumulate** — a pair whose transactions were split
+/// across the two shards by an earlier home change sums back to exactly
+/// the solo-engine weight.
+fn absorb_slice<M: DensityMetric>(
+    engine: &mut SpadeEngine<M>,
+    slice: &MigrationSlice,
+) -> AbsorbReceipt {
+    let mut receipt = AbsorbReceipt::default();
+    let snapshot = match crate::persist::SubgraphSnapshot::decode(&slice.encoded) {
+        Ok(snapshot) => snapshot,
+        Err(_) => {
+            receipt.rejected = (slice.vertices + slice.edges) as u64;
+            return receipt;
+        }
+    };
+    for &(u, w) in &snapshot.vertices {
+        if engine.ensure_vertex(u).is_err() {
+            receipt.rejected += 1;
+            continue;
+        }
+        if w > engine.graph().vertex_weight(u) && engine.set_vertex_suspiciousness(u, w).is_err() {
+            receipt.rejected += 1;
+            continue;
+        }
+        receipt.vertices_touched += 1;
+    }
+    let (_, rejected) = engine.insert_batch_weighted_tolerant(&snapshot.edges);
+    receipt.rejected += rejected;
+    receipt.edges_applied = snapshot.edges.len() - rejected as usize;
+    receipt
 }
 
 /// Applies the accumulated insert batch of an ungrouped worker as one
@@ -783,6 +961,92 @@ mod tests {
         let det = service.shutdown();
         assert!(det.epoch > before.epoch);
         assert!(det.size > 0);
+    }
+
+    #[test]
+    fn migrate_out_then_absorb_moves_a_slice_between_workers() {
+        let source = SpadeService::spawn(SpadeEngine::new(WeightedDensity), None, 64);
+        let target = SpadeService::spawn(SpadeEngine::new(WeightedDensity), None, 64);
+        // Source: a dominant ring over 10..13 plus background noise.
+        for i in 0..5u32 {
+            assert!(source.submit(v(i), v(i + 1), 1.0));
+        }
+        for a in 10..13u32 {
+            for b in 10..13u32 {
+                if a != b {
+                    assert!(source.submit(v(a), v(b), 20.0));
+                }
+            }
+        }
+        // Target already holds part of the same accumulated pair: the
+        // absorbed weight must ADD, reassembling the solo total.
+        assert!(target.submit(v(10), v(11), 5.0));
+
+        let members: Arc<[VertexId]> = (10..13).map(v).collect::<Vec<_>>().into();
+        let slice = source.migrate_out(Arc::clone(&members)).expect("source alive");
+        assert_eq!(slice.vertices, 3);
+        assert_eq!(slice.edges, 6);
+        assert!((slice.edge_weight - 120.0).abs() < 1e-9);
+        assert!(!slice.is_empty());
+
+        let receipt = target.absorb(slice).expect("target alive");
+        assert_eq!(receipt.edges_applied, 6);
+        assert_eq!(receipt.rejected, 0);
+
+        // Source fell back to the noise path; target now detects the
+        // ring with the accumulated pair weight.
+        let source_det = source.shutdown();
+        assert!(source_det.members.iter().all(|m| m.0 <= 5));
+        let (target_det, engine) = target.shutdown_into_engine::<WeightedDensity>();
+        let engine = engine.expect("engine handed back");
+        assert!(target_det.members.iter().all(|m| (10..13).contains(&m.0)));
+        assert_eq!(engine.graph().edge_weight(v(10), v(11)), Some(25.0));
+        assert!((target_det.density - (120.0 + 5.0) / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn migrating_an_absent_component_yields_an_empty_slice() {
+        let source = SpadeService::spawn(SpadeEngine::new(WeightedDensity), None, 16);
+        assert!(source.submit(v(0), v(1), 2.0));
+        // Members far outside anything this worker holds.
+        let members: Arc<[VertexId]> = vec![v(500), v(501)].into();
+        let slice = source.migrate_out(members).expect("alive");
+        assert!(slice.is_empty());
+        assert_eq!(slice.edge_weight, 0.0);
+        // Absorbing an empty slice is a harmless no-op.
+        let target = SpadeService::spawn(SpadeEngine::new(WeightedDensity), None, 16);
+        let receipt = target.absorb(slice).expect("alive");
+        assert_eq!(receipt.edges_applied, 0);
+        assert_eq!(receipt.rejected, 0);
+        let det = source.shutdown();
+        assert_eq!(det.updates_applied, 1);
+        drop(target);
+    }
+
+    #[test]
+    fn grouped_source_flushes_its_buffer_before_migrating_out() {
+        let mut engine = SpadeEngine::new(WeightedDensity);
+        // Established community so later benign member edges buffer.
+        for a in 10..13u32 {
+            for b in 10..13u32 {
+                if a != b {
+                    engine.insert_edge(v(a), v(b), 20.0).unwrap();
+                }
+            }
+        }
+        let source = SpadeService::spawn(engine, Some(GroupingConfig::default()), 16);
+        // A benign edge touching a migrated member: buffered, not yet in
+        // the graph — the migrate-out flush must capture it.
+        assert!(source.submit(v(10), v(12), 0.01));
+        let members: Arc<[VertexId]> = (10..13).map(v).collect::<Vec<_>>().into();
+        let slice = source.migrate_out(members).expect("alive");
+        assert!(
+            (slice.edge_weight - 120.01).abs() < 1e-9,
+            "buffered edge lost: {}",
+            slice.edge_weight
+        );
+        let det = source.shutdown();
+        assert_eq!(det.size, 0, "everything was evicted");
     }
 
     #[test]

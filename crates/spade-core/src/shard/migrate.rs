@@ -1,0 +1,195 @@
+//! Live component migration: the routing-layer correctness fix for
+//! stranded merges, and runtime skew adaptation in the same move.
+//!
+//! The connectivity partitioner pins each component to a home shard, but
+//! routing is forward-only: when two already-homed components merge, the
+//! losing side's earlier edges stay **stranded** on its old shard, so a
+//! fraud ring assembled by such a merge is split across two shards and
+//! its density diluted — exactly the failure mode hash routing has
+//! everywhere (see `crate::shard::partition`). Real fraud workloads make
+//! this worse, not rarer: fraud concentrates at points of compromise
+//! (BreachRadar's hotspot finding), so the components that merge and the
+//! shards that overload are precisely the ones that matter.
+//!
+//! A migration moves a component's slice between shards with the
+//! extract → evict → replay primitive:
+//!
+//! 1. the **source** worker drains its queue, flushes its grouping
+//!    buffer, extracts the induced subgraph over the component's members
+//!    through the [`crate::persist::SubgraphSnapshot`] codec, and evicts
+//!    that slice from its engine through the incremental deletion pass
+//!    ([`crate::service::MigrationSlice`]);
+//! 2. the **target** worker replays the slice: vertex suspiciousness
+//!    installs max-wise, edge weights *accumulate* — a pair whose
+//!    transactions were split across the shards by the home change sums
+//!    back to the exact solo-engine weight;
+//! 3. the partitioner's routing table is updated (`rehome` + routing
+//!    epoch) **before** the source marker is enqueued, under the sharded
+//!    runtime's routing lock, so every in-flight edge routed to the old
+//!    home is already queued ahead of the eviction marker and drains into
+//!    the slice — nothing is lost, nothing is double-counted.
+//!
+//! Two triggers drive the scheduler ([`MigrationPolicy`]):
+//!
+//! * **strand repair** — the partitioner records every home-vs-home
+//!   merge as a [`crate::shard::partition::StrandEvent`]; each drained
+//!   event moves the losing slice onto the surviving home, restoring
+//!   single-engine exactness for the merged community;
+//! * **load balancing** — when one shard's ingest counter runs
+//!   [`MigrationPolicy::imbalance_ratio`] ahead of the mean (the
+//!   [`crate::shard::ShardStats`] signal), the largest component homed
+//!   there moves to the least-loaded shard, the SAD-F-style partition
+//!   rebalance applied to pinned communities.
+
+use spade_graph::VertexId;
+
+/// Tuning of the migration scheduler.
+#[derive(Clone, Copy, Debug)]
+pub struct MigrationPolicy {
+    /// Load trigger: a shard whose applied-update counter exceeds
+    /// `imbalance_ratio × mean` is considered hot and sheds its largest
+    /// pinned component. Values ≤ 1 disable the load trigger.
+    pub imbalance_ratio: f64,
+    /// Load moves only start once the runtime has applied at least this
+    /// many updates in total — early traffic is always lumpy.
+    pub min_updates: u64,
+    /// Upper bound on load-balancing moves per pass (strand repairs are
+    /// correctness fixes and are never capped).
+    pub max_load_moves: usize,
+}
+
+impl Default for MigrationPolicy {
+    fn default() -> Self {
+        MigrationPolicy { imbalance_ratio: 1.75, min_updates: 2048, max_load_moves: 1 }
+    }
+}
+
+/// Why a component was migrated.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MigrationTrigger {
+    /// A home-vs-home merge left this slice stranded on the losing home.
+    StrandRepair,
+    /// The source shard ran ahead of the configured imbalance ratio.
+    LoadBalance,
+    /// An operator (or benchmark) asked for the move explicitly.
+    Manual,
+}
+
+/// One completed component move.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MigrationRecord {
+    /// What triggered the move.
+    pub trigger: MigrationTrigger,
+    /// A member of the migrated component.
+    pub member: VertexId,
+    /// Source shard (slice evicted here).
+    pub from: usize,
+    /// Target shard (slice replayed here).
+    pub to: usize,
+    /// Vertices carried by the slice.
+    pub vertices: usize,
+    /// Edges carried by the slice.
+    pub edges: usize,
+    /// Edge suspiciousness carried by the slice.
+    pub edge_weight: f64,
+}
+
+/// The product of one rebalance pass.
+#[derive(Clone, Debug, Default)]
+pub struct MigrationReport {
+    /// Completed moves, in execution order.
+    pub moves: Vec<MigrationRecord>,
+    /// Strand events whose source shard turned out to hold nothing
+    /// (already repaired, or the losing home never received an edge).
+    pub skipped_empty: usize,
+    /// The partitioner's routing-table revision after the pass.
+    pub routing_epoch: u64,
+}
+
+impl MigrationReport {
+    /// Total edges moved by this pass.
+    pub fn edges_moved(&self) -> usize {
+        self.moves.iter().map(|m| m.edges).sum()
+    }
+}
+
+/// Monotonic counters of the migration subsystem.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MigrationStats {
+    /// Rebalance passes executed.
+    pub passes: u64,
+    /// Components migrated (all triggers).
+    pub migrations: u64,
+    /// Migrations triggered by strand events.
+    pub strand_repairs: u64,
+    /// Migrations triggered by load imbalance.
+    pub load_moves: u64,
+    /// Directed edges moved across shards.
+    pub edges_moved: u64,
+    /// Edge suspiciousness moved across shards.
+    pub edge_weight_moved: f64,
+    /// Strand events that resolved to an empty slice (nothing to move).
+    pub skipped_empty: u64,
+    /// `rebalance_if_needed` calls that found no trigger and did nothing.
+    pub served_idle: u64,
+    /// Moves aborted mid-flight because a shard had shut down. When the
+    /// target died the slice is re-absorbed by its source and routing is
+    /// pointed back, so the fleet stays exact; when the source died its
+    /// slice was unrecoverable regardless.
+    pub failed_moves: u64,
+}
+
+/// Picks a load-balancing move from per-shard applied-update counters:
+/// `Some((hot, cold))` when the hottest shard exceeds
+/// `imbalance_ratio × mean`. Pure so the policy is unit-testable without
+/// a running fleet.
+pub fn pick_load_move(updates: &[u64], policy: &MigrationPolicy) -> Option<(usize, usize)> {
+    if updates.len() < 2 || policy.imbalance_ratio <= 1.0 {
+        return None;
+    }
+    let total: u64 = updates.iter().sum();
+    if total < policy.min_updates.max(1) {
+        return None;
+    }
+    let mean = total as f64 / updates.len() as f64;
+    let (hot, &hot_load) = updates.iter().enumerate().max_by_key(|&(_, &u)| u)?;
+    let (cold, _) = updates.iter().enumerate().min_by_key(|&(_, &u)| u)?;
+    if hot == cold || (hot_load as f64) <= policy.imbalance_ratio * mean {
+        return None;
+    }
+    Some((hot, cold))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_loads_trigger_nothing() {
+        let policy = MigrationPolicy::default();
+        assert_eq!(pick_load_move(&[5000, 5100, 4900, 5050], &policy), None);
+        assert_eq!(pick_load_move(&[0, 0, 0], &policy), None);
+        assert_eq!(pick_load_move(&[9000], &policy), None, "one shard has nowhere to move");
+    }
+
+    #[test]
+    fn a_hot_shard_moves_toward_the_coldest() {
+        let policy = MigrationPolicy { min_updates: 100, ..Default::default() };
+        // Shard 1 carries ~3x the mean; shard 2 is idle.
+        assert_eq!(pick_load_move(&[200, 1200, 40, 160], &policy), Some((1, 2)));
+    }
+
+    #[test]
+    fn min_updates_suppresses_early_noise() {
+        let policy = MigrationPolicy { min_updates: 10_000, ..Default::default() };
+        assert_eq!(pick_load_move(&[10, 900, 5, 20], &policy), None);
+        let warm = MigrationPolicy { min_updates: 100, ..Default::default() };
+        assert_eq!(pick_load_move(&[10, 900, 5, 20], &warm), Some((1, 2)));
+    }
+
+    #[test]
+    fn ratio_at_or_below_one_disables_the_load_trigger() {
+        let policy = MigrationPolicy { imbalance_ratio: 1.0, min_updates: 0, ..Default::default() };
+        assert_eq!(pick_load_move(&[1, 1_000_000], &policy), None);
+    }
+}

@@ -26,15 +26,27 @@
 //! * [`repair`] — the cross-shard community repair pass: per-shard
 //!   candidate regions (community + k-hop frontier, persist-codec bytes)
 //!   unioned and re-peeled so hash-split communities recover
-//!   single-engine exactness.
+//!   single-engine exactness;
+//! * [`migrate`] — live component migration (extract → evict → replay
+//!   through the persist codec): repairs merge-stranded slices at their
+//!   surviving home and sheds pinned components off overloaded shards,
+//!   driven by the partitioner's strand events and the [`ShardStats`]
+//!   load signal.
 
 pub mod aggregate;
+pub mod migrate;
 pub mod partition;
 pub mod repair;
 pub mod service;
 
 pub use aggregate::{DetectionAggregator, GlobalDetection, ShardDetection};
-pub use partition::{ConnectivityPartitioner, HashPartitioner, PartitionStrategy, Partitioner};
+pub use migrate::{
+    pick_load_move, MigrationPolicy, MigrationRecord, MigrationReport, MigrationStats,
+    MigrationTrigger,
+};
+pub use partition::{
+    ConnectivityPartitioner, HashPartitioner, PartitionStrategy, Partitioner, StrandEvent,
+};
 pub use repair::{
     repair_regions, RegionSummary, RepairConfig, RepairOutcome, RepairScratch, RepairStats,
     RepairedDetection,

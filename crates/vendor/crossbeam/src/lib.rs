@@ -46,6 +46,15 @@ pub mod channel {
 
     impl<T: std::fmt::Debug> std::error::Error for SendError<T> {}
 
+    /// Error returned by [`Sender::try_send`]; carries the message back.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The channel is at capacity; receivers remain.
+        Full(T),
+        /// Every receiver has been dropped.
+        Disconnected(T),
+    }
+
     /// Error returned by [`Receiver::recv`] when the channel is empty and
     /// every sender is gone.
     #[derive(Debug, PartialEq, Eq)]
@@ -118,6 +127,26 @@ pub mod channel {
                 inner = self.shared.not_full.wait(inner).unwrap();
                 inner.send_waiters -= 1;
             }
+        }
+
+        /// Non-blocking send: enqueues `msg` only if space is available
+        /// right now, handing the message back on a full or disconnected
+        /// channel.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            let mut inner = self.shared.inner.lock().unwrap();
+            if inner.receivers == 0 {
+                return Err(TrySendError::Disconnected(msg));
+            }
+            if inner.queue.len() >= inner.capacity {
+                return Err(TrySendError::Full(msg));
+            }
+            inner.queue.push_back(msg);
+            let wake = inner.recv_waiters > 0;
+            drop(inner);
+            if wake {
+                self.shared.not_empty.notify_one();
+            }
+            Ok(())
         }
 
         /// Messages currently queued.

@@ -8,6 +8,10 @@
 
 use std::sync::{self, LockResult};
 
+/// Guard aliases matching parking_lot's public names (the std guards
+/// stand in for the real crate's non-poisoning guards).
+pub use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
+
 /// Non-poisoning reader–writer lock.
 #[derive(Debug, Default)]
 pub struct RwLock<T> {

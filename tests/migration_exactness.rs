@@ -1,0 +1,241 @@
+//! The connectivity-merge half of the `cross-shard-exactness` CI gate.
+//!
+//! Connectivity routing keeps a component's edges co-resident — until
+//! two already-homed components merge. The losing side's earlier edges
+//! are then stranded on its old shard and the merge-assembled community
+//! is split and diluted, exactly like hash routing. This gate builds
+//! such merged communities deterministically, verifies the dilution
+//! premise, runs one migration pass ([`ShardedSpadeService::rebalance`])
+//! and requires the **exact** solo-engine answer — same members, same
+//! density — for N ∈ {2, 4, 8} shards, plus a property test over
+//! arbitrary bridged component pairs.
+//!
+//! Kept as its own integration test (and part of a named CI job) so a
+//! regression here reads as "migration lost exactness", not as a
+//! generic test failure.
+
+use proptest::prelude::*;
+use spade::core::{SpadeEngine, WeightedDensity};
+use spade::graph::VertexId;
+use spade::shard::{MigrationPolicy, ShardedConfig, ShardedSpadeService};
+use std::time::{Duration, Instant};
+
+fn v(i: u32) -> VertexId {
+    VertexId(i)
+}
+
+/// The seeded stranded-merge workload: background noise paths spread
+/// across shards, two dense half-rings born as separate components, a
+/// bridge that merges them, and post-merge cross traffic. Every run
+/// replays the identical stream.
+fn stranded_merge_stream() -> Vec<(VertexId, VertexId, f64)> {
+    let mut edges = Vec::new();
+    // Noise: disjoint low-weight paths, one component each, so the
+    // least-loaded pinning rotates across every shard before the fraud
+    // components are born.
+    for p in 0..12u32 {
+        let base = 1_000 + p * 10;
+        for i in 0..4 {
+            edges.push((v(base + i), v(base + i + 1), 1.0));
+        }
+    }
+    let ring_a: Vec<u32> = (100..105).collect();
+    let ring_b: Vec<u32> = (200..205).collect();
+    // Component A, then component B: born separately, homed separately.
+    for ring in [&ring_a, &ring_b] {
+        for &a in ring.iter() {
+            for &b in ring.iter() {
+                if a != b {
+                    edges.push((v(a), v(b), 600.0));
+                }
+            }
+        }
+    }
+    // The bridge merges the two homed components: from here on, B's
+    // earlier edges are stranded on its (losing) home shard.
+    edges.push((v(100), v(200), 600.0));
+    // Post-merge cross traffic lands on the surviving home.
+    for (&a, &b) in ring_a.iter().zip(ring_b.iter()) {
+        edges.push((v(a), v(b), 600.0));
+        edges.push((v(b), v(a), 600.0));
+    }
+    edges
+}
+
+/// Solo-engine ground truth over the same stream.
+fn solo_detection(edges: &[(VertexId, VertexId, f64)]) -> (usize, f64, Vec<u32>) {
+    let mut solo = SpadeEngine::new(WeightedDensity);
+    for &(a, b, w) in edges {
+        let _ = solo.insert_edge(a, b, w);
+    }
+    let det = solo.detect();
+    let mut members: Vec<u32> = solo.community(det).iter().map(|m| m.0).collect();
+    members.sort_unstable();
+    (det.size, det.density, members)
+}
+
+/// Polls until every submitted command has been applied (the submit path
+/// is synchronous only up to the bounded queues).
+fn drain(service: &ShardedSpadeService, submitted: u64) {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while service.stats().iter().map(|s| s.service.updates_applied).sum::<u64>() < submitted {
+        assert!(Instant::now() < deadline, "drain timed out");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+}
+
+fn assert_exact_after_migration(shards: usize) {
+    let edges = stranded_merge_stream();
+    let (want_size, want_density, want_members) = solo_detection(&edges);
+    assert!(want_size > 0, "the workload must contain a detectable community");
+
+    let service = ShardedSpadeService::spawn(
+        WeightedDensity,
+        ShardedConfig { queue_capacity: 4096, ..ShardedConfig::with_shards(shards) },
+    );
+    for &(a, b, w) in &edges {
+        assert!(service.submit(a, b, w));
+    }
+    drain(&service, edges.len() as u64);
+
+    // The premise of the gate: the merge actually stranded something —
+    // the pre-migration best view is strictly below the solo answer.
+    let diluted = service.current_detection();
+    assert!(
+        diluted.best.density < want_density * (1.0 - 1e-9),
+        "N={shards}: expected strand dilution, got {} vs solo {}",
+        diluted.best.density,
+        want_density
+    );
+
+    let report = service.rebalance();
+    let stats = service.migration_stats();
+    assert!(
+        stats.strand_repairs >= 1,
+        "N={shards}: the home-vs-home merge must trigger a strand repair"
+    );
+    assert!(!report.moves.is_empty(), "N={shards}: a slice must actually move");
+
+    // The gate itself: post-migration == solo, members and density.
+    let global = service.shutdown();
+    assert_eq!(global.total_updates, edges.len() as u64);
+    let mut got: Vec<u32> = global.best.members.iter().map(|m| m.0).collect();
+    got.sort_unstable();
+    assert_eq!(got, want_members, "N={shards}: post-migration members diverge from solo");
+    assert_eq!(global.best.size, want_size, "N={shards}: size mismatch");
+    assert!(
+        (global.best.density - want_density).abs() < 1e-9,
+        "N={shards}: post-migration density {} vs solo {}",
+        global.best.density,
+        want_density
+    );
+    println!(
+        "N={shards}: diluted density {:.3} migrated to {:.3} (solo {:.3}, {} members, {} \
+         edges moved)",
+        diluted.best.density,
+        global.best.density,
+        want_density,
+        want_size,
+        report.edges_moved(),
+    );
+}
+
+#[test]
+fn stranded_merge_is_migrated_to_exactness_across_2_shards() {
+    assert_exact_after_migration(2);
+}
+
+#[test]
+fn stranded_merge_is_migrated_to_exactness_across_4_shards() {
+    assert_exact_after_migration(4);
+}
+
+#[test]
+fn stranded_merge_is_migrated_to_exactness_across_8_shards() {
+    assert_exact_after_migration(8);
+}
+
+#[test]
+fn load_triggered_migration_preserves_exactness() {
+    // An aggressive load policy on a skewed stream: whatever the
+    // scheduler decides to move, the answer must stay the solo one.
+    let edges = stranded_merge_stream();
+    let (want_size, want_density, want_members) = solo_detection(&edges);
+    let service = ShardedSpadeService::spawn(
+        WeightedDensity,
+        ShardedConfig {
+            migration: MigrationPolicy { imbalance_ratio: 1.1, min_updates: 16, max_load_moves: 4 },
+            queue_capacity: 4096,
+            ..ShardedConfig::with_shards(4)
+        },
+    );
+    for &(a, b, w) in &edges {
+        assert!(service.submit(a, b, w));
+    }
+    drain(&service, edges.len() as u64);
+    let _ = service.rebalance();
+    let _ = service.rebalance(); // a second pass must stay stable
+    let global = service.shutdown();
+    let mut got: Vec<u32> = global.best.members.iter().map(|m| m.0).collect();
+    got.sort_unstable();
+    assert_eq!(got, want_members);
+    assert_eq!(global.best.size, want_size);
+    assert!((global.best.density - want_density).abs() < 1e-9);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The satellite property: ANY two separately-homed components
+    /// bridged by an edge, then migrated, detect exactly what a solo
+    /// engine over the same stream detects.
+    #[test]
+    fn bridged_components_migrate_to_solo_exactness(
+        size_a in 2u32..6,
+        size_b in 2u32..6,
+        weight in 2u32..40,
+        noise in proptest::collection::vec((0u32..40, 0u32..40), 0..20),
+        shards in 2usize..5,
+        extra_bridges in 0usize..3,
+    ) {
+        let mut edges: Vec<(VertexId, VertexId, f64)> = Vec::new();
+        // Noise paths over a low id range (distinct components of their
+        // own, merging freely among themselves).
+        for &(a, b) in &noise {
+            if a != b {
+                edges.push((v(a), v(b), 1.0));
+            }
+        }
+        // Two dense components over disjoint high id ranges.
+        for (base, size) in [(1_000, size_a), (2_000, size_b)] {
+            for a in 0..size {
+                for b in 0..size {
+                    if a != b {
+                        edges.push((v(base + a), v(base + b), weight as f64));
+                    }
+                }
+            }
+        }
+        // The bridge(s).
+        edges.push((v(1_000), v(2_000), weight as f64));
+        for i in 0..extra_bridges as u32 {
+            edges.push((v(1_000 + i % size_a), v(2_000 + (i + 1) % size_b), weight as f64));
+        }
+        let (want_size, want_density, want_members) = solo_detection(&edges);
+
+        let service = ShardedSpadeService::spawn(
+            WeightedDensity,
+            ShardedConfig::with_shards(shards),
+        );
+        for &(a, b, w) in &edges {
+            prop_assert!(service.submit(a, b, w));
+        }
+        let _ = service.rebalance();
+        let global = service.shutdown();
+        let mut got: Vec<u32> = global.best.members.iter().map(|m| m.0).collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, want_members);
+        prop_assert_eq!(global.best.size, want_size);
+        prop_assert!((global.best.density - want_density).abs() < 1e-9);
+    }
+}
