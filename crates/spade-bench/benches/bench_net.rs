@@ -1,0 +1,116 @@
+//! Criterion: the network ingest front end.
+//!
+//! Two layers are measured separately:
+//!
+//! * `wire_codec` — pure encode/decode cost of a 512-edge `Batch` frame
+//!   (the transport's per-edge CPU tax with no socket involved);
+//! * `net_replay` — a full loopback replay of the benchmark workload
+//!   through `SpadeNetServer`/`SpadeNetClient` (fresh server per
+//!   iteration, drained on shutdown), directly comparable to the
+//!   in-process `sharded_ingest` numbers from `bench_sharded` — the gap
+//!   between the two is the price of the socket + framing.
+//!
+//! Like `bench_sharded`, scaling requires cores; on a single-core host
+//! the replay measures transport overhead under time-slicing.
+
+#![allow(missing_docs)] // criterion macros generate undocumented items
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use spade_core::metric::WeightedDensity;
+use spade_core::shard::{PartitionStrategy, ShardedConfig, ShardedSpadeService};
+use spade_core::stream::StreamEdge;
+use spade_gen::fraud::{FraudInjector, FraudInjectorConfig};
+use spade_gen::transactions::{TransactionStream, TransactionStreamConfig};
+use spade_graph::VertexId;
+use spade_net::{ClientConfig, FrameDecoder, SpadeNetClient, SpadeNetServer, WireFrame};
+use std::sync::Arc;
+
+/// The same benign-heavy workload shape as `bench_sharded`.
+fn workload() -> Vec<StreamEdge> {
+    let scale = spade_bench::env_scale() / 0.01;
+    let base = TransactionStream::generate(&TransactionStreamConfig {
+        customers: ((1_500.0 * scale) as usize).max(100),
+        merchants: ((500.0 * scale) as usize).max(30),
+        transactions: ((6_000.0 * scale) as usize).max(500),
+        seed: 0x5AD5,
+        ..Default::default()
+    });
+    let injected = FraudInjector::inject(
+        &base,
+        &FraudInjectorConfig {
+            instances_per_pattern: 1,
+            transactions_per_instance: ((150.0 * scale) as usize).max(40),
+            amount: 300.0,
+            ..Default::default()
+        },
+    );
+    injected.edges
+}
+
+fn bench_wire_codec(c: &mut Criterion) {
+    let edges: Vec<(VertexId, VertexId, f64)> =
+        (0..512u32).map(|i| (VertexId(i), VertexId(i + 1), 1.5 + (i % 7) as f64)).collect();
+    let frame = WireFrame::Batch { edges };
+    let encoded = frame.encode();
+    let mut group = c.benchmark_group("wire_codec");
+    group.throughput(Throughput::Elements(512));
+    group.bench_function("encode_batch_512", |b| {
+        b.iter(|| frame.encode().len());
+    });
+    group.bench_function("decode_batch_512", |b| {
+        b.iter(|| {
+            let mut decoder = FrameDecoder::new();
+            decoder.extend(&encoded);
+            decoder.next_frame().expect("valid frame").is_some()
+        });
+    });
+    group.finish();
+}
+
+/// One full loopback replay: spawn runtime + server, feed every edge
+/// through a TCP client, drain on shutdown. Returns total updates.
+fn net_replay(edges: &[StreamEdge], shards: usize, batch: usize) -> u64 {
+    let service = Arc::new(ShardedSpadeService::spawn(
+        WeightedDensity,
+        ShardedConfig {
+            shards,
+            queue_capacity: 4096,
+            strategy: PartitionStrategy::HashBySource,
+            top_k: shards,
+            ..Default::default()
+        },
+    ));
+    let server = SpadeNetServer::bind(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+    let mut client = SpadeNetClient::connect_with(
+        server.local_addr(),
+        ClientConfig { batch, pipeline: 16, ..Default::default() },
+    )
+    .expect("connect");
+    for e in edges {
+        client.submit(e.src, e.dst, e.raw).expect("submit");
+    }
+    client.finish().expect("flush");
+    server.shutdown();
+    let service = Arc::try_unwrap(service).unwrap_or_else(|_| panic!("service still shared"));
+    service.shutdown().total_updates
+}
+
+fn bench_net_replay(c: &mut Criterion) {
+    let edges = workload();
+    let mut group = c.benchmark_group("net_replay");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(edges.len() as u64));
+    for batch in [1usize, 64, 512] {
+        group.bench_function(BenchmarkId::new("loopback_batch", batch), |b| {
+            b.iter(|| {
+                let n = net_replay(&edges, 2, batch);
+                assert_eq!(n, edges.len() as u64);
+                n
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_wire_codec, bench_net_replay);
+criterion_main!(benches);

@@ -10,7 +10,9 @@ use spade_gen::datasets::DatasetSpec;
 use spade_graph::io::{read_edge_list, EdgeRecord};
 use spade_graph::VertexId;
 use spade_metrics::Table;
+use spade_net::{ClientConfig, NetStats, SpadeNetClient, SpadeNetServer};
 use std::error::Error;
+use std::sync::Arc;
 use std::time::Instant;
 
 type AnyError = Box<dyn Error>;
@@ -85,6 +87,9 @@ USAGE:
                  [--queue N] [--coalesce N]
                  [--partition hash|connectivity|conn:<max_component>]
                  [--top N] [--repair] [--repair-hops K] [--rebalance]
+  spade serve    --listen <addr> [--shards N] [--metric dg|dw|fd] [...]
+  spade ingest   <addr> <edges.txt> [--batch N] [--pipeline N]
+                 [--detect] [--stats] [--shutdown]
   spade gen      [--dataset Grab1] [--scale 0.01] [--seed 42] [--out FILE]
   spade snapshot <edges.txt> --out FILE [--metric dg|dw|fd]
   spade resume   <FILE> [--metric dg|dw|fd] [--top N]
@@ -109,6 +114,18 @@ scheduler: components whose merge stranded edges on a losing home are
 moved whole onto their surviving shard (extract, evict, replay through
 the snapshot codec), and overloaded shards shed their largest pinned
 component; a final pass runs before the report.
+
+`serve --listen <addr>` takes no edge list: it binds a framed-TCP ingest
+server on <addr> (port 0 picks a free port; the bound address is
+printed) and bridges producer frames straight into the sharded runtime —
+a full shard queue answers Busy over the wire instead of blocking the
+connection. The server runs until a producer sends the Shutdown frame
+(`spade ingest --shutdown`), then prints the usual sharded report plus
+connection/frame/busy transport counters. `spade ingest <addr> <file>`
+is the matching producer: it replays an edge list with `--batch`-sized
+pipelined frames (`--pipeline` in flight), retries Busy suffixes, and
+with `--detect`/`--stats` reads the live detection and server counters
+back; `--shutdown` stops the server when the replay ends.
 
 Edge lists are whitespace-separated `src dst [raw] [timestamp]` lines."
     );
@@ -193,6 +210,7 @@ fn print_sharded_report(
     top: usize,
     repaired: Option<&RepairedDetection>,
     rebalanced: Option<&MigrationReport>,
+    net: Option<&NetStats>,
 ) {
     let stats = service.stats();
     let global = service.current_detection();
@@ -239,6 +257,13 @@ fn print_sharded_report(
         ]);
     }
     table.print();
+    if let Some(n) = net {
+        println!(
+            "net: {} connection(s), {} frame(s), {} edges acked, {} busy repl(ies), \
+             {} malformed frame(s)",
+            n.connections, n.frames, n.edges_accepted, n.busy_replies, n.malformed_frames,
+        );
+    }
     if global.unique_members > 0 {
         println!("{} distinct suspicious accounts across all shard views", global.unique_members);
     }
@@ -312,7 +337,133 @@ fn print_sharded_report(
 /// runtime and report the merged detection.
 pub fn serve(args: &Args) -> Result<(), AnyError> {
     let shards = args.num_opt("shards", 4usize)?.max(1);
-    run_sharded(args, shards, "serve needs an edge-list path")
+    let listen = args.str_opt("listen", "");
+    if !listen.is_empty() {
+        return serve_listen(args, shards, &listen);
+    }
+    run_sharded(args, shards, "serve needs an edge-list path (or --listen <addr>)")
+}
+
+/// `spade serve --listen <addr>`: the network front end. Producers feed
+/// the sharded runtime over framed TCP until one of them sends the
+/// Shutdown frame; then the usual sharded report is printed, extended
+/// with the transport counters.
+fn serve_listen(args: &Args, shards: usize, addr: &str) -> Result<(), AnyError> {
+    let metric = metric_from(args)?;
+    let top = args.num_opt("top", 3usize)?.max(1);
+    let config = sharded_config_from(args, shards)?;
+    let rebalance = args.flag("rebalance");
+    let service = Arc::new(ShardedSpadeService::spawn(metric, config));
+    let server = SpadeNetServer::bind(Arc::clone(&service), addr)
+        .map_err(|e| format!("cannot listen on {addr}: {e}"))?;
+    println!(
+        "listening on {} ({} shards); stop with a Shutdown frame (`spade ingest ... --shutdown`)",
+        server.local_addr(),
+        shards,
+    );
+    let started = Instant::now();
+    while !server.is_stopped() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        if rebalance {
+            // Live scheduling while producers stream.
+            let _ = service.rebalance_if_needed();
+        }
+    }
+    let net = server.shutdown();
+    // Every acknowledged edge sits in a shard queue; drain before the
+    // report so the replay accounting is exact. The periodic flush
+    // doubles as a liveness check (same discipline as the file-replay
+    // drain loop): a dead shard worker fails the send and we error out
+    // instead of spinning forever on a frozen counter.
+    let mut next_liveness = Instant::now() + std::time::Duration::from_millis(100);
+    while service.stats().iter().map(|s| s.service.updates_applied).sum::<u64>()
+        < net.edges_accepted
+    {
+        if Instant::now() >= next_liveness {
+            if !service.flush() {
+                return Err("a shard shut down while draining acknowledged edges".into());
+            }
+            next_liveness = Instant::now() + std::time::Duration::from_millis(100);
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    let elapsed_secs = started.elapsed().as_secs_f64();
+    let rebalanced = rebalance.then(|| service.rebalance());
+    let repaired = if args.flag("repair") { Some(service.repair()) } else { None };
+    print_sharded_report(
+        &service,
+        elapsed_secs,
+        net.edges_accepted as usize,
+        top,
+        repaired.as_ref(),
+        rebalanced.as_ref(),
+        Some(&net),
+    );
+    let service =
+        Arc::try_unwrap(service).map_err(|_| "a server thread still holds the runtime")?;
+    service.shutdown();
+    Ok(())
+}
+
+/// `spade ingest <addr> <edges.txt>`: a TCP producer replaying an edge
+/// list into a `serve --listen` process with batched, pipelined frames.
+pub fn ingest(args: &Args) -> Result<(), AnyError> {
+    let addr = args.pos(0).ok_or("ingest needs a server address")?;
+    let path = args.pos(1).ok_or("ingest needs an edge-list path")?;
+    let records = load_records(path)?;
+    let config = ClientConfig {
+        batch: args.num_opt("batch", ClientConfig::default().batch)?.max(1),
+        pipeline: args.num_opt("pipeline", ClientConfig::default().pipeline)?.max(1),
+        ..Default::default()
+    };
+    let mut client = SpadeNetClient::connect_with(addr, config)
+        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let started = Instant::now();
+    for r in &records {
+        client.submit(r.src, r.dst, r.weight)?;
+    }
+    client.flush()?;
+    let elapsed = started.elapsed().as_secs_f64();
+    let stats = client.stats();
+    println!(
+        "{} transactions acked over TCP in {:.1} ms ({:.0} tx/s, {} frames, {} busy retries)",
+        stats.edges_acked,
+        elapsed * 1e3,
+        stats.edges_acked as f64 / elapsed.max(1e-9),
+        stats.frames_sent,
+        stats.busy_replies,
+    );
+    if args.flag("detect") {
+        let det = client.detect()?;
+        let sample: Vec<String> = det.members.iter().take(8).map(|m| m.0.to_string()).collect();
+        println!(
+            "server detection: {} members, density {:.3}, {} updates applied (accounts {})",
+            det.size,
+            det.density,
+            det.updates_applied,
+            sample.join(","),
+        );
+    }
+    if args.flag("stats") {
+        let s = client.server_stats()?;
+        println!(
+            "server: {} shards, {} updates applied, {} queued; net: {} connection(s), \
+             {} frame(s), {} edges acked, {} busy repl(ies), {} malformed frame(s)",
+            s.shards,
+            s.updates_applied,
+            s.queue_depth,
+            s.connections,
+            s.frames,
+            s.edges_accepted,
+            s.busy_replies,
+            s.malformed_frames,
+        );
+    }
+    if args.flag("shutdown") {
+        client.shutdown_server()?;
+        println!("server shutdown requested");
+    }
+    Ok(())
 }
 
 /// `spade detect --shards N`: the same input, N parallel engines.
@@ -374,6 +525,7 @@ fn run_sharded(args: &Args, shards: usize, path_error: &'static str) -> Result<(
         top,
         repaired.as_ref(),
         rebalanced.as_ref(),
+        None,
     );
     service.shutdown();
     Ok(())
@@ -674,6 +826,43 @@ mod tests {
     }
 
     #[test]
+    fn serve_listen_and_ingest_roundtrip_over_loopback() {
+        let dir = temp_dir();
+        let path = write_sample_edges(&dir);
+        // Reserve a free port, then release it for the server. The tiny
+        // window between drop and rebind is raced only by other local
+        // processes grabbing ephemeral ports — retried below just in
+        // case.
+        let port = {
+            let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            probe.local_addr().unwrap().port()
+        };
+        let addr = format!("127.0.0.1:{port}");
+        let server = {
+            let listen = addr.clone();
+            std::thread::spawn(move || {
+                serve(&args(&format!("serve --listen {listen} --shards 2 --repair")))
+                    .map_err(|e| e.to_string())
+            })
+        };
+        // The producer: retry until the server's listener is up.
+        let mut attempts = 0;
+        loop {
+            match ingest(&args(&format!(
+                "ingest {addr} {path} --batch 4 --pipeline 2 --detect --stats --shutdown"
+            ))) {
+                Ok(()) => break,
+                Err(_) if attempts < 100 => {
+                    attempts += 1;
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                }
+                Err(e) => panic!("ingest never reached the server: {e}"),
+            }
+        }
+        server.join().unwrap().unwrap();
+    }
+
+    #[test]
     fn helpful_errors() {
         assert!(detect(&args("detect")).is_err());
         assert!(detect(&args("detect /nonexistent/file")).is_err());
@@ -682,5 +871,8 @@ mod tests {
         assert!(snapshot(&args("snapshot whatever.txt")).is_err());
         assert!(serve(&args("serve")).is_err());
         assert!(serve(&args("serve missing.txt --partitioner bogus")).is_err());
+        assert!(ingest(&args("ingest")).is_err());
+        assert!(ingest(&args("ingest 127.0.0.1:1 missing.txt")).is_err());
+        assert!(serve(&args("serve --listen 256.256.256.256:0")).is_err());
     }
 }

@@ -5,6 +5,9 @@
 //! spade stream <edges.txt> [--metric ...] [--initial 0.9] [--batch N | --grouping]
 //! spade serve  <edges.txt> [--shards N] [--metric ...] [--grouping]
 //!              [--queue N] [--coalesce N] [--partitioner hash|connectivity]
+//! spade serve  --listen <addr> [--shards N] [--metric ...]
+//! spade ingest <addr> <edges.txt> [--batch N] [--pipeline N]
+//!              [--detect] [--stats] [--shutdown]
 //! spade gen    [--dataset Grab1] [--scale 0.01] [--seed N] [--out FILE]
 //! spade snapshot <edges.txt> --out <file.spade> [--metric ...]
 //! spade resume  <file.spade> [--metric ...] [--top N]
@@ -33,6 +36,7 @@ fn main() -> ExitCode {
         "detect" => commands::detect(&args),
         "stream" => commands::stream(&args),
         "serve" => commands::serve(&args),
+        "ingest" => commands::ingest(&args),
         "gen" => commands::generate(&args),
         "snapshot" => commands::snapshot(&args),
         "resume" => commands::resume(&args),

@@ -30,7 +30,7 @@ pub use persist::{load_engine, save_engine, SnapshotError, SubgraphSnapshot};
 pub use reorder::{ReorderScratch, ReorderStats};
 pub use service::{
     AbsorbReceipt, CandidateRegion, IngestConfig, MigrationSlice, PublishedDetection, ServiceStats,
-    SpadeService,
+    SpadeService, TrySubmit,
 };
 pub use shard::{
     GlobalDetection, MigrationPolicy, MigrationReport, MigrationStats, PartitionStrategy,

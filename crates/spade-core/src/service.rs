@@ -209,6 +209,10 @@ struct SharedDetection {
     /// (even skipped ones) so drain accounting never stalls behind an
     /// unchanged detection.
     updates_applied: AtomicU64,
+    /// Directed edges resident in the worker's graph at the last publish
+    /// attempt — the migration scheduler's size signal for choosing a
+    /// move target.
+    edges_resident: AtomicU64,
 }
 
 /// Point-in-time statistics of a running [`SpadeService`].
@@ -231,15 +235,23 @@ pub struct ServiceStats {
     pub skipped_unchanged: u64,
     /// Malformed transactions dropped by the worker.
     pub rejected: u64,
+    /// Directed edges resident in the worker's graph at the last publish
+    /// attempt (accumulated pairs count once). The sharded migration
+    /// scheduler breaks windowed-load ties toward the shard holding the
+    /// least resident state.
+    pub edges_resident: u64,
     /// Size of the last published detection.
     pub detection_size: usize,
     /// Density of the last published detection.
     pub detection_density: f64,
 }
 
-/// Outcome of a non-blocking submit attempt.
+/// Outcome of a non-blocking submit attempt. Public because transport
+/// front ends (`spade-net`) translate `Full` into a wire-level Busy reply
+/// instead of blocking their accept/handler threads on a back-pressured
+/// shard.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub(crate) enum TrySubmit {
+pub enum TrySubmit {
     /// The transaction was enqueued.
     Queued,
     /// The ingest queue is at capacity; the service is alive.
@@ -327,8 +339,9 @@ impl SpadeService {
 
     /// Non-blocking [`submit`](Self::submit): enqueues only if the queue
     /// has space right now. The sharded runtime uses this so its routing
-    /// lock is never held across a back-pressure wait.
-    pub(crate) fn try_submit(&self, src: VertexId, dst: VertexId, raw: f64) -> TrySubmit {
+    /// lock is never held across a back-pressure wait; network front ends
+    /// use it to answer Busy instead of stalling a connection handler.
+    pub fn try_submit(&self, src: VertexId, dst: VertexId, raw: f64) -> TrySubmit {
         match self.sender.try_send(Command::Insert { src, dst, raw }) {
             Ok(()) => TrySubmit::Queued,
             Err(TrySendError::Full(_)) => TrySubmit::Full,
@@ -417,6 +430,7 @@ impl SpadeService {
             publishes: self.telemetry.publishes.load(Ordering::Relaxed),
             skipped_unchanged: self.telemetry.skipped_unchanged.load(Ordering::Relaxed),
             rejected: self.telemetry.rejected.load(Ordering::Relaxed),
+            edges_resident: self.shared.edges_resident.load(Ordering::Acquire),
             detection_size: det.size,
             detection_density: det.density,
         }
@@ -710,7 +724,11 @@ impl Publisher {
         telemetry: &WorkerTelemetry,
     ) {
         // Exactness accounting advances on every attempt, even when the
-        // snapshot itself is not swapped.
+        // snapshot itself is not swapped. The resident-size store comes
+        // first: a reader that observes the new update count is then
+        // guaranteed (release/acquire on `updates_applied`) to see a
+        // graph size at least as fresh.
+        shared.edges_resident.store(engine.graph().num_edges() as u64, Ordering::Release);
         shared.updates_applied.store(updates, Ordering::Release);
         let det: Detection = engine.detect();
         let windows = engine.total_reorder_stats().windows;
@@ -779,7 +797,7 @@ mod tests {
         service.submit(v(10), v(11), 0.01); // benign: buffered
         service.flush();
         // Allow the worker to process.
-        for _ in 0..100 {
+        for _ in 0..2_000 {
             if service.current_detection().updates_applied >= 1 {
                 break;
             }
@@ -836,7 +854,7 @@ mod tests {
         let service = SpadeService::spawn(engine, Some(GroupingConfig::default()), 16);
         service.submit(v(10), v(11), 0.01); // benign: buffered
         service.flush();
-        for _ in 0..100 {
+        for _ in 0..2_000 {
             if service.stats().flushes >= 1 {
                 break;
             }
@@ -898,7 +916,7 @@ mod tests {
         let before_shutdown = {
             // Drain deterministically: poll until all four commands are
             // accounted for.
-            for _ in 0..200 {
+            for _ in 0..2_000 {
                 if service.stats().updates_applied >= 4 {
                     break;
                 }
@@ -921,7 +939,7 @@ mod tests {
         let service = SpadeService::spawn(engine, None, 32);
         // Wait for the worker's initial publish so `first` is the real
         // epoch-1 snapshot, not the pre-spawn default.
-        for _ in 0..200 {
+        for _ in 0..2_000 {
             if service.stats().publishes >= 1 {
                 break;
             }
@@ -932,7 +950,7 @@ mod tests {
         for _ in 0..20 {
             assert!(service.submit(v(0), v(1), 1.0));
         }
-        for _ in 0..200 {
+        for _ in 0..2_000 {
             if service.stats().updates_applied >= 20 {
                 break;
             }

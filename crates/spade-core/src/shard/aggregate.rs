@@ -197,6 +197,51 @@ mod tests {
     }
 
     #[test]
+    fn identical_member_sets_with_different_densities_keep_the_densest_view() {
+        // Three shards report the SAME member set — a fully replicated
+        // view of one split community — at different local densities
+        // (each shard holds a different slice of the edge weight). The
+        // distinct ranking must keep exactly one entry: the densest one.
+        let agg = DetectionAggregator::new(4);
+        let global = agg.merge(vec![
+            det_over(&[7, 8, 9], 2.5),
+            det_over(&[7, 8, 9], 8.0),
+            det_over(&[7, 8, 9], 4.0),
+        ]);
+        assert_eq!(global.distinct.len(), 1, "identical member sets must collapse to one view");
+        assert_eq!(global.distinct[0].shard, 1);
+        assert_eq!(global.distinct[0].detection.density, 8.0);
+        // The raw ranking still shows all three for drill-down.
+        assert_eq!(global.top.len(), 3);
+        // Members counted once, not three times.
+        assert_eq!(global.unique_members, 3);
+        assert_eq!(global.best_shard, 1);
+    }
+
+    #[test]
+    fn unique_members_count_once_under_three_way_overlap() {
+        // A chain of three overlapping views: shard 0 and shard 2 only
+        // overlap transitively through shard 1, and member 20 appears in
+        // all three. unique_members must count {10,20,30,40} once each,
+        // and the distinct ranking must drop BOTH chained views — each
+        // overlaps the kept densest view directly via member 20.
+        let agg = DetectionAggregator::new(4);
+        let global = agg.merge(vec![
+            det_over(&[10, 20], 3.0),
+            det_over(&[20, 30], 9.0),
+            det_over(&[20, 40], 5.0),
+        ]);
+        assert_eq!(global.unique_members, 4, "members shared three ways count once");
+        let distinct_shards: Vec<usize> = global.distinct.iter().map(|s| s.shard).collect();
+        assert_eq!(distinct_shards, vec![1], "both overlapping views collapse into shard 1's");
+        assert_eq!(global.best_shard, 1);
+        // Aggregate size bookkeeping: raw sizes sum to 6, the gap of 2 is
+        // exactly the double-counted member 20.
+        let raw_sum: usize = global.top.iter().map(|s| s.detection.size).sum();
+        assert_eq!(raw_sum - global.unique_members, 2);
+    }
+
+    #[test]
     fn distinct_ranking_respects_top_k() {
         let agg = DetectionAggregator::new(1);
         let global = agg.merge(vec![det_over(&[0, 1], 3.0), det_over(&[2, 3], 5.0)]);

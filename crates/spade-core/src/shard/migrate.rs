@@ -38,8 +38,10 @@
 //! * **load balancing** — when one shard's ingest counter runs
 //!   [`MigrationPolicy::imbalance_ratio`] ahead of the mean (the
 //!   [`crate::shard::ShardStats`] signal), the largest component homed
-//!   there moves to the least-loaded shard, the SAD-F-style partition
-//!   rebalance applied to pinned communities.
+//!   there moves to the shard that is coldest by *windowed* load, with
+//!   ties broken toward the smallest resident engine
+//!   ([`crate::service::ServiceStats::edges_resident`]) — the SAD-F-style
+//!   partition rebalance applied to pinned communities.
 
 use spade_graph::VertexId;
 
@@ -139,22 +141,40 @@ pub struct MigrationStats {
     pub failed_moves: u64,
 }
 
-/// Picks a load-balancing move from per-shard applied-update counters:
-/// `Some((hot, cold))` when the hottest shard exceeds
-/// `imbalance_ratio × mean`. Pure so the policy is unit-testable without
-/// a running fleet.
-pub fn pick_load_move(updates: &[u64], policy: &MigrationPolicy) -> Option<(usize, usize)> {
-    if updates.len() < 2 || policy.imbalance_ratio <= 1.0 {
+/// Picks a load-balancing move from per-shard **windowed** applied-update
+/// counters (traffic since the load trigger last fired, not the raw
+/// lifetime counter): `Some((hot, cold))` when the hottest shard exceeds
+/// `imbalance_ratio × mean`. The target choice is size-aware: among the
+/// candidate targets the coldest shard by windowed load wins, and a
+/// windowed-load tie breaks toward the shard holding the **fewest
+/// resident edges** (then the lower index) — a shard that was hammered
+/// long ago has a cold window but a full engine, and piling the moved
+/// component onto it would just mint the next hot spot. Pure so the
+/// policy is unit-testable without a running fleet.
+///
+/// `resident_edges[i]` is shard `i`'s current graph size
+/// (`ServiceStats::edges_resident`); a short slice is padded with zeros.
+pub fn pick_load_move(
+    window: &[u64],
+    resident_edges: &[u64],
+    policy: &MigrationPolicy,
+) -> Option<(usize, usize)> {
+    if window.len() < 2 || policy.imbalance_ratio <= 1.0 {
         return None;
     }
-    let total: u64 = updates.iter().sum();
+    let total: u64 = window.iter().sum();
     if total < policy.min_updates.max(1) {
         return None;
     }
-    let mean = total as f64 / updates.len() as f64;
-    let (hot, &hot_load) = updates.iter().enumerate().max_by_key(|&(_, &u)| u)?;
-    let (cold, _) = updates.iter().enumerate().min_by_key(|&(_, &u)| u)?;
-    if hot == cold || (hot_load as f64) <= policy.imbalance_ratio * mean {
+    let mean = total as f64 / window.len() as f64;
+    let (hot, &hot_load) = window.iter().enumerate().max_by_key(|&(_, &u)| u)?;
+    if (hot_load as f64) <= policy.imbalance_ratio * mean {
+        return None;
+    }
+    let resident = |i: usize| resident_edges.get(i).copied().unwrap_or(0);
+    let cold =
+        (0..window.len()).filter(|&i| i != hot).min_by_key(|&i| (window[i], resident(i), i))?;
+    if window[cold] >= hot_load {
         return None;
     }
     Some((hot, cold))
@@ -164,32 +184,65 @@ pub fn pick_load_move(updates: &[u64], policy: &MigrationPolicy) -> Option<(usiz
 mod tests {
     use super::*;
 
+    /// No resident-size signal: every shard reports an empty engine.
+    const NO_SIZES: &[u64] = &[];
+
     #[test]
     fn balanced_loads_trigger_nothing() {
         let policy = MigrationPolicy::default();
-        assert_eq!(pick_load_move(&[5000, 5100, 4900, 5050], &policy), None);
-        assert_eq!(pick_load_move(&[0, 0, 0], &policy), None);
-        assert_eq!(pick_load_move(&[9000], &policy), None, "one shard has nowhere to move");
+        assert_eq!(pick_load_move(&[5000, 5100, 4900, 5050], NO_SIZES, &policy), None);
+        assert_eq!(pick_load_move(&[0, 0, 0], NO_SIZES, &policy), None);
+        assert_eq!(pick_load_move(&[9000], NO_SIZES, &policy), None, "nowhere to move");
     }
 
     #[test]
     fn a_hot_shard_moves_toward_the_coldest() {
         let policy = MigrationPolicy { min_updates: 100, ..Default::default() };
         // Shard 1 carries ~3x the mean; shard 2 is idle.
-        assert_eq!(pick_load_move(&[200, 1200, 40, 160], &policy), Some((1, 2)));
+        assert_eq!(pick_load_move(&[200, 1200, 40, 160], NO_SIZES, &policy), Some((1, 2)));
     }
 
     #[test]
     fn min_updates_suppresses_early_noise() {
         let policy = MigrationPolicy { min_updates: 10_000, ..Default::default() };
-        assert_eq!(pick_load_move(&[10, 900, 5, 20], &policy), None);
+        assert_eq!(pick_load_move(&[10, 900, 5, 20], NO_SIZES, &policy), None);
         let warm = MigrationPolicy { min_updates: 100, ..Default::default() };
-        assert_eq!(pick_load_move(&[10, 900, 5, 20], &warm), Some((1, 2)));
+        assert_eq!(pick_load_move(&[10, 900, 5, 20], NO_SIZES, &warm), Some((1, 2)));
     }
 
     #[test]
     fn ratio_at_or_below_one_disables_the_load_trigger() {
         let policy = MigrationPolicy { imbalance_ratio: 1.0, min_updates: 0, ..Default::default() };
-        assert_eq!(pick_load_move(&[1, 1_000_000], &policy), None);
+        assert_eq!(pick_load_move(&[1, 1_000_000], NO_SIZES, &policy), None);
+    }
+
+    #[test]
+    fn windowed_load_ties_break_toward_the_smallest_resident_engine() {
+        let policy = MigrationPolicy { min_updates: 100, ..Default::default() };
+        // Shards 1 and 3 are equally cold by window, but shard 1 already
+        // holds 50k resident edges (hammered before the window reset) —
+        // the move must target shard 3, not re-heat shard 1.
+        assert_eq!(
+            pick_load_move(&[2_000, 0, 300, 0], &[10, 50_000, 400, 12], &policy),
+            Some((0, 3))
+        );
+        // With the resident sizes swapped the tie resolves the other way.
+        assert_eq!(
+            pick_load_move(&[2_000, 0, 300, 0], &[10, 12, 400, 50_000], &policy),
+            Some((0, 1))
+        );
+        // A missing size entry counts as an empty engine.
+        assert_eq!(pick_load_move(&[2_000, 0, 300, 0], &[10, 7], &policy), Some((0, 3)));
+    }
+
+    #[test]
+    fn strictly_coldest_window_wins_over_a_smaller_engine() {
+        let policy = MigrationPolicy { min_updates: 100, ..Default::default() };
+        // Shard 2 is the coldest by window even though shard 1's engine
+        // is smaller: windowed load dominates, size only breaks ties.
+        assert_eq!(
+            pick_load_move(&[2_000, 50, 20, 600], &[0, 5, 90_000, 0], &policy),
+            Some((0, 2))
+        );
     }
 }

@@ -24,6 +24,7 @@ use crate::grouping::GroupingConfig;
 use crate::metric::DensityMetric;
 use crate::service::{
     CandidateRegion, IngestConfig, MigrationSlice, PublishedDetection, ServiceStats, SpadeService,
+    TrySubmit,
 };
 use crate::shard::aggregate::{DetectionAggregator, GlobalDetection};
 use crate::shard::migrate::{
@@ -289,13 +290,36 @@ impl ShardedSpadeService {
                     let mut table = p.lock();
                     let shard = table.route(src, dst, self.shards.len());
                     match self.shards[shard].try_submit(src, dst, raw) {
-                        crate::service::TrySubmit::Queued => return true,
-                        crate::service::TrySubmit::Closed => return false,
-                        crate::service::TrySubmit::Full => {}
+                        TrySubmit::Queued => return true,
+                        TrySubmit::Closed => return false,
+                        TrySubmit::Full => {}
                     }
                 }
                 std::thread::sleep(std::time::Duration::from_micros(50));
             },
+        }
+    }
+
+    /// Non-blocking [`submit`](Self::submit): routes the transaction and
+    /// enqueues it only if its shard's queue has space right now,
+    /// reporting [`TrySubmit::Full`] otherwise. Transport front ends
+    /// (`spade-net`) surface `Full` to the producer as a Busy reply —
+    /// back-pressure crosses the wire instead of stalling a connection
+    /// handler thread. Re-routing the same edge on a later retry is safe:
+    /// the union is idempotent and no duplicate strand event is recorded
+    /// (see [`submit`](Self::submit)).
+    pub fn try_submit(&self, src: VertexId, dst: VertexId, raw: f64) -> TrySubmit {
+        match &self.router {
+            Router::Hash(p) => {
+                let mut p = *p;
+                let shard = p.route(src, dst, self.shards.len());
+                self.shards[shard].try_submit(src, dst, raw)
+            }
+            Router::Locked(p) => {
+                let mut table = p.lock();
+                let shard = table.route(src, dst, self.shards.len());
+                self.shards[shard].try_submit(src, dst, raw)
+            }
         }
     }
 
@@ -461,9 +485,12 @@ impl ShardedSpadeService {
         // (drained into the slice), routed-after ones follow the new
         // home.
         for _ in 0..self.migration_policy.max_load_moves {
-            let updates: Vec<u64> = self.shards.iter().map(|s| s.stats().updates_applied).collect();
+            let stats: Vec<ServiceStats> = self.shards.iter().map(|s| s.stats()).collect();
+            let updates: Vec<u64> = stats.iter().map(|s| s.updates_applied).collect();
+            let resident: Vec<u64> = stats.iter().map(|s| s.edges_resident).collect();
             let window = state.load_window(&updates);
-            let Some((hot, cold)) = pick_load_move(&window, &self.migration_policy) else {
+            let Some((hot, cold)) = pick_load_move(&window, &resident, &self.migration_policy)
+            else {
                 break;
             };
             // Acknowledge the signal whether or not a move materializes:
@@ -541,10 +568,12 @@ impl ShardedSpadeService {
     pub fn rebalance_if_needed(&self) -> Option<MigrationReport> {
         let pending = self.router.table().map(|p| p.pending_strands())?;
         if pending == 0 {
-            let updates: Vec<u64> = self.shards.iter().map(|s| s.stats().updates_applied).collect();
+            let stats: Vec<ServiceStats> = self.shards.iter().map(|s| s.stats()).collect();
+            let updates: Vec<u64> = stats.iter().map(|s| s.updates_applied).collect();
+            let resident: Vec<u64> = stats.iter().map(|s| s.edges_resident).collect();
             let mut state = self.migration.lock();
             let window = state.load_window(&updates);
-            if pick_load_move(&window, &self.migration_policy).is_none() {
+            if pick_load_move(&window, &resident, &self.migration_policy).is_none() {
                 state.stats.served_idle += 1;
                 return None;
             }
@@ -1059,7 +1088,7 @@ mod tests {
             assert!(service.submit(a, b, w));
         }
         // Drain so the load signal reflects every submission.
-        for _ in 0..500 {
+        for _ in 0..2_000 {
             let applied: u64 = service.stats().iter().map(|s| s.service.updates_applied).sum();
             if applied >= edges.len() as u64 {
                 break;

@@ -1,0 +1,255 @@
+//! The producer side: a batching, pipelining TCP client.
+//!
+//! [`SpadeNetClient`] stages submitted transactions into `Batch` frames
+//! of [`ClientConfig::batch`] edges and keeps up to
+//! [`ClientConfig::pipeline`] frames in flight before draining a reply —
+//! so a replay saturates the socket instead of paying a round trip per
+//! batch. Replies map to in-flight frames in FIFO order (the server
+//! processes one connection's frames sequentially). A [`WireFrame::Busy`]
+//! reply re-sends the unaccepted suffix of its batch after a short
+//! back-off; [`flush`](Self::flush) drains every in-flight frame, so
+//! when it returns every submitted edge has been **acknowledged** — i.e.
+//! enqueued into a shard on the server.
+
+use crate::wire::{write_frame, DetectionReply, FrameDecoder, StatsReply, WireFrame};
+use spade_graph::VertexId;
+use std::collections::VecDeque;
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Tuning knobs of a [`SpadeNetClient`].
+#[derive(Clone, Copy, Debug)]
+pub struct ClientConfig {
+    /// Edges staged per `Batch` frame. Clamped to
+    /// [`crate::wire::MAX_BATCH_EDGES`].
+    pub batch: usize,
+    /// Batch frames kept in flight before a reply is drained.
+    pub pipeline: usize,
+    /// Pause before re-sending the suffix a Busy reply bounced.
+    pub busy_backoff: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig { batch: 512, pipeline: 32, busy_backoff: Duration::from_micros(200) }
+    }
+}
+
+/// Counters a client accumulates over its lifetime.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ClientStats {
+    /// Edges handed to [`SpadeNetClient::submit`].
+    pub edges_submitted: u64,
+    /// Edges acknowledged by the server (enqueued into a shard).
+    pub edges_acked: u64,
+    /// Busy replies received (each one re-sent a batch suffix).
+    pub busy_replies: u64,
+    /// Request frames written (retries included).
+    pub frames_sent: u64,
+}
+
+/// A connected producer.
+pub struct SpadeNetClient {
+    reader: TcpStream,
+    writer: std::io::BufWriter<TcpStream>,
+    decoder: FrameDecoder,
+    staged: Vec<(VertexId, VertexId, f64)>,
+    /// Sent-but-unacknowledged batches, in send order (== reply order).
+    inflight: VecDeque<Vec<(VertexId, VertexId, f64)>>,
+    stats: ClientStats,
+    config: ClientConfig,
+}
+
+impl SpadeNetClient {
+    /// Connects with default tuning.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<SpadeNetClient> {
+        Self::connect_with(addr, ClientConfig::default())
+    }
+
+    /// Connects with explicit batch/pipeline tuning.
+    pub fn connect_with<A: ToSocketAddrs>(
+        addr: A,
+        mut config: ClientConfig,
+    ) -> std::io::Result<SpadeNetClient> {
+        config.batch = config.batch.clamp(1, crate::wire::MAX_BATCH_EDGES);
+        config.pipeline = config.pipeline.max(1);
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let reader = stream.try_clone()?;
+        Ok(SpadeNetClient {
+            reader,
+            writer: std::io::BufWriter::new(stream),
+            decoder: FrameDecoder::new(),
+            staged: Vec::new(),
+            inflight: VecDeque::new(),
+            stats: ClientStats::default(),
+            config,
+        })
+    }
+
+    /// Lifetime counters so far.
+    pub fn stats(&self) -> ClientStats {
+        self.stats
+    }
+
+    /// Stages one transaction, shipping a `Batch` frame whenever the
+    /// staging buffer fills. May block draining a reply when the
+    /// pipeline window is full.
+    pub fn submit(&mut self, src: VertexId, dst: VertexId, raw: f64) -> std::io::Result<()> {
+        self.stats.edges_submitted += 1;
+        self.staged.push((src, dst, raw));
+        if self.staged.len() >= self.config.batch {
+            let batch = std::mem::take(&mut self.staged);
+            self.send_batch(batch)?;
+        }
+        Ok(())
+    }
+
+    /// Ships every staged edge, drains every in-flight frame (retrying
+    /// Busy suffixes until acknowledged), then issues a wire-level Flush
+    /// so shards apply buffered benign edges. On return, every submitted
+    /// edge sits in a shard queue on the server.
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        if !self.staged.is_empty() {
+            let batch = std::mem::take(&mut self.staged);
+            self.send_batch(batch)?;
+        }
+        while !self.inflight.is_empty() {
+            self.drain_one()?;
+        }
+        self.request(&WireFrame::Flush)?;
+        match self.read_reply()? {
+            WireFrame::Ack { .. } => Ok(()),
+            other => Err(unexpected(&other, "Ack")),
+        }
+    }
+
+    /// Flushes, then asks for the merged global detection.
+    pub fn detect(&mut self) -> std::io::Result<DetectionReply> {
+        self.flush()?;
+        self.request(&WireFrame::Detect)?;
+        match self.read_reply()? {
+            WireFrame::Detection(reply) => Ok(reply),
+            other => Err(unexpected(&other, "Detection")),
+        }
+    }
+
+    /// Flushes, then asks for runtime + transport statistics.
+    pub fn server_stats(&mut self) -> std::io::Result<StatsReply> {
+        self.flush()?;
+        self.request(&WireFrame::Stats)?;
+        match self.read_reply()? {
+            WireFrame::StatsReply(reply) => Ok(reply),
+            other => Err(unexpected(&other, "StatsReply")),
+        }
+    }
+
+    /// Flushes, then sends the end-of-stream Shutdown marker that stops
+    /// the server (the replay coordinator calls this once all producers
+    /// have finished).
+    pub fn shutdown_server(&mut self) -> std::io::Result<()> {
+        self.flush()?;
+        self.request(&WireFrame::Shutdown)?;
+        match self.read_reply()? {
+            WireFrame::Ack { .. } => Ok(()),
+            other => Err(unexpected(&other, "Ack")),
+        }
+    }
+
+    /// Flushes and hands back the lifetime counters.
+    pub fn finish(mut self) -> std::io::Result<ClientStats> {
+        self.flush()?;
+        Ok(self.stats)
+    }
+
+    /// Sends one request frame immediately (no pipelining).
+    fn request(&mut self, frame: &WireFrame) -> std::io::Result<()> {
+        write_frame(&mut self.writer, frame)?;
+        self.stats.frames_sent += 1;
+        self.writer.flush()
+    }
+
+    /// Ships `batch` as one frame, first draining a reply if the
+    /// pipeline window is full.
+    fn send_batch(&mut self, batch: Vec<(VertexId, VertexId, f64)>) -> std::io::Result<()> {
+        while self.inflight.len() >= self.config.pipeline {
+            self.drain_one()?;
+        }
+        self.write_batch(batch)
+    }
+
+    /// Writes one `Batch` frame and parks the edges in the in-flight
+    /// window (moved, not cloned — the frame borrows them transiently so
+    /// the hot path pays only the encode copy).
+    fn write_batch(&mut self, batch: Vec<(VertexId, VertexId, f64)>) -> std::io::Result<()> {
+        let frame = WireFrame::Batch { edges: batch };
+        write_frame(&mut self.writer, &frame)?;
+        self.stats.frames_sent += 1;
+        self.writer.flush()?;
+        let WireFrame::Batch { edges } = frame else { unreachable!("constructed above") };
+        self.inflight.push_back(edges);
+        Ok(())
+    }
+
+    /// Consumes replies until one in-flight slot frees up for good. A
+    /// Busy reply re-sends the bounced suffix (which re-enters the
+    /// in-flight window at the back, preserving FIFO reply matching) and
+    /// keeps draining — iterative, so sustained back-pressure cannot
+    /// recurse.
+    fn drain_one(&mut self) -> std::io::Result<()> {
+        loop {
+            let reply = self.read_reply()?;
+            let Some(batch) = self.inflight.pop_front() else {
+                return Err(unexpected(&reply, "no request in flight"));
+            };
+            match reply {
+                WireFrame::Ack { accepted } => {
+                    self.stats.edges_acked += accepted;
+                    debug_assert_eq!(accepted as usize, batch.len());
+                    return Ok(());
+                }
+                WireFrame::Busy { accepted } => {
+                    self.stats.edges_acked += accepted;
+                    self.stats.busy_replies += 1;
+                    // Clamp against a nonsensical accepted count — a
+                    // protocol violation must not become a panic.
+                    let rest = batch[(accepted as usize).min(batch.len())..].to_vec();
+                    std::thread::sleep(self.config.busy_backoff);
+                    self.write_batch(rest)?;
+                    // Window size is unchanged (popped one, pushed one):
+                    // keep draining until an Ack frees a slot.
+                }
+                WireFrame::Error { message } => {
+                    return Err(std::io::Error::other(format!("server error: {message}")));
+                }
+                other => return Err(unexpected(&other, "Ack or Busy")),
+            }
+        }
+    }
+
+    /// Blocks until one reply frame is reassembled.
+    fn read_reply(&mut self) -> std::io::Result<WireFrame> {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            if let Some(frame) = self.decoder.next_frame().map_err(std::io::Error::from)? {
+                return Ok(frame);
+            }
+            let n = self.reader.read(&mut chunk)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "server closed the connection mid-reply",
+                ));
+            }
+            self.decoder.extend(&chunk[..n]);
+        }
+    }
+}
+
+fn unexpected(got: &WireFrame, wanted: &str) -> std::io::Error {
+    std::io::Error::new(
+        std::io::ErrorKind::InvalidData,
+        format!("protocol violation: expected {wanted}, got {got:?}"),
+    )
+}

@@ -1,0 +1,46 @@
+//! # spade-net
+//!
+//! The network ingest front end of the Spade runtime: a length-prefixed
+//! binary wire protocol ([`WireFrame`]), a multi-producer TCP server
+//! ([`SpadeNetServer`]) that bridges decoded frames into the sharded
+//! detection runtime, and a batching, pipelining client
+//! ([`SpadeNetClient`]) for producers.
+//!
+//! The paper frames Spade as a *real-time* system fed by live transaction
+//! streams; until now the runtime only ingested from in-process
+//! iterators. This crate is the thin transport the sharded worker loop
+//! was built to receive: frames decode straight into
+//! `ShardedSpadeService::try_submit`, so every shard's drain-coalescing
+//! batch path, routing policy, and repair/migration machinery is
+//! inherited unchanged — and back-pressure crosses the wire. When a
+//! shard's bounded ingest queue is full, the server answers
+//! [`WireFrame::Busy`] with the count of edges it *did* enqueue instead
+//! of blocking the connection handler; the client retries the
+//! unacknowledged suffix. An edge is acknowledged **only after** it sits
+//! in a shard queue, so the acked count is exact drain accounting: at
+//! shutdown, `sum(updates_applied)` across shards equals the sum of all
+//! producers' acknowledged edges.
+//!
+//! Protocol shape (all integers little-endian, `f64` as raw bits):
+//!
+//! ```text
+//! frame   := u32 payload_len | payload            (len ≤ MAX_FRAME_BYTES)
+//! payload := u8 opcode | body
+//! ```
+//!
+//! Requests: `Edge`, `Batch`, `Flush`, `Detect`, `Stats`, `Shutdown`.
+//! Replies: `Ack`, `Busy`, `Detection`, `StatsReply`, `Error`. The
+//! decoder rejects truncated, oversized, and structurally invalid frames
+//! with an error — never a panic — mirroring the overflow-safe section
+//! checks of the `spade_core::persist` snapshot codec.
+
+pub mod client;
+pub mod server;
+pub mod wire;
+
+pub use client::{ClientConfig, ClientStats, SpadeNetClient};
+pub use server::{NetStats, SpadeNetServer};
+pub use wire::{
+    read_frame, write_frame, DetectionReply, FrameDecoder, StatsReply, WireError, WireFrame,
+    MAX_BATCH_EDGES, MAX_DETECTION_MEMBERS, MAX_FRAME_BYTES,
+};

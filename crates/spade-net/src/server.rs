@@ -1,0 +1,380 @@
+//! The multi-producer TCP front end of the sharded runtime.
+//!
+//! [`SpadeNetServer`] binds a `std::net` listener, accepts any number of
+//! producer connections, and bridges decoded [`WireFrame`]s into a shared
+//! [`ShardedSpadeService`] — one OS thread per connection, each feeding
+//! the same routing table and per-shard bounded queues the in-process
+//! `submit` path uses. Two properties make the bridge safe under load:
+//!
+//! * **Back-pressure crosses the wire.** Ingest goes through
+//!   [`ShardedSpadeService::try_submit`]; a full shard queue turns into a
+//!   [`WireFrame::Busy`] reply carrying the count of edges that *were*
+//!   enqueued, and the producer retries the rest. The accept loop and
+//!   every other connection keep moving — one back-pressured shard never
+//!   head-of-line-blocks the listener.
+//! * **Acknowledgement is enqueue.** An edge is counted in an Ack/Busy
+//!   `accepted` total only after `try_submit` queued it, and every queued
+//!   command is drained before shutdown completes — so the sum of
+//!   acknowledged edges equals the shards' `updates_applied` total at
+//!   shutdown. The back-pressure integration test pins this down.
+//!
+//! A malformed frame (bad opcode, truncated section, oversized length
+//! prefix) earns the producer an [`WireFrame::Error`] reply and its
+//! connection is closed; the server itself never panics on wire input.
+
+use crate::wire::{write_frame, FrameDecoder, StatsReply, WireFrame};
+use parking_lot::Mutex;
+use spade_core::shard::ShardedSpadeService;
+use spade_core::TrySubmit;
+use spade_graph::VertexId;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long a connection read blocks before re-checking the stop flag.
+const READ_POLL: Duration = Duration::from_millis(50);
+/// How long the accept loop sleeps when no connection is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// Monotonic transport counters (shared by all connection handlers).
+#[derive(Debug, Default)]
+struct NetTelemetry {
+    connections: AtomicU64,
+    frames: AtomicU64,
+    edges_accepted: AtomicU64,
+    busy_replies: AtomicU64,
+    malformed_frames: AtomicU64,
+}
+
+/// Point-in-time transport statistics of a [`SpadeNetServer`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NetStats {
+    /// Connections accepted since the server started.
+    pub connections: u64,
+    /// Frames decoded across all connections.
+    pub frames: u64,
+    /// Edges acknowledged — each one was enqueued into a shard queue.
+    pub edges_accepted: u64,
+    /// Busy replies sent (an edge bounced off a full shard queue).
+    pub busy_replies: u64,
+    /// Connections dropped over malformed frames.
+    pub malformed_frames: u64,
+}
+
+/// A running TCP ingest server wrapped around a shared sharded runtime.
+///
+/// Dropping the handle stops the listener and joins every connection
+/// handler (mirroring the worker-join discipline of [`SpadeService`]'s
+/// drop); the wrapped service itself is left running — shut it down
+/// through its own handle once `Arc::try_unwrap` succeeds.
+///
+/// [`SpadeService`]: spade_core::service::SpadeService
+pub struct SpadeNetServer {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    telemetry: Arc<NetTelemetry>,
+    accept: Option<JoinHandle<()>>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl SpadeNetServer {
+    /// Binds `addr` (use port 0 for an OS-assigned port — see
+    /// [`local_addr`](Self::local_addr)) and starts accepting producers
+    /// into `service`.
+    pub fn bind<A: ToSocketAddrs>(
+        service: Arc<ShardedSpadeService>,
+        addr: A,
+    ) -> std::io::Result<SpadeNetServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let telemetry = Arc::new(NetTelemetry::default());
+        let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let stop = Arc::clone(&stop);
+            let telemetry = Arc::clone(&telemetry);
+            let handlers = Arc::clone(&handlers);
+            std::thread::Builder::new()
+                .name("spade-net-accept".into())
+                .spawn(move || {
+                    accept_loop(listener, service, stop, telemetry, handlers);
+                })
+                .expect("failed to spawn the accept thread")
+        };
+        Ok(SpadeNetServer { local_addr, stop, telemetry, accept: Some(accept), handlers })
+    }
+
+    /// The bound address (resolves port 0 to the real port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// `true` once a producer's Shutdown frame (or [`stop`](Self::stop))
+    /// has stopped the server. The CLI's `serve --listen` loop polls
+    /// this.
+    pub fn is_stopped(&self) -> bool {
+        self.stop.load(Ordering::Acquire)
+    }
+
+    /// Asks the accept loop and every connection handler to wind down
+    /// without blocking.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Release);
+    }
+
+    /// Current transport counters.
+    pub fn stats(&self) -> NetStats {
+        let t = &self.telemetry;
+        NetStats {
+            connections: t.connections.load(Ordering::Relaxed),
+            frames: t.frames.load(Ordering::Relaxed),
+            edges_accepted: t.edges_accepted.load(Ordering::Relaxed),
+            busy_replies: t.busy_replies.load(Ordering::Relaxed),
+            malformed_frames: t.malformed_frames.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops the server, joins the accept loop and every connection
+    /// handler, and returns the final transport counters. Edges already
+    /// acknowledged sit in shard queues; drain them by shutting the
+    /// underlying service down afterwards.
+    pub fn shutdown(mut self) -> NetStats {
+        self.join();
+        self.stats()
+    }
+
+    fn join(&mut self) {
+        self.stop();
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        let handlers: Vec<JoinHandle<()>> = std::mem::take(&mut *self.handlers.lock());
+        for h in handlers {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for SpadeNetServer {
+    fn drop(&mut self) {
+        self.join();
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    service: Arc<ShardedSpadeService>,
+    stop: Arc<AtomicBool>,
+    telemetry: Arc<NetTelemetry>,
+    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    let mut conn_id = 0u64;
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                telemetry.connections.fetch_add(1, Ordering::Relaxed);
+                conn_id += 1;
+                let service = Arc::clone(&service);
+                let stop = Arc::clone(&stop);
+                let telemetry = Arc::clone(&telemetry);
+                let handle = std::thread::Builder::new()
+                    .name(format!("spade-net-conn-{conn_id}"))
+                    .spawn(move || {
+                        let _ = handle_connection(stream, &service, &stop, &telemetry);
+                    })
+                    .expect("failed to spawn a connection handler");
+                // Reap finished handlers so a long-lived server's handle
+                // list tracks concurrent connections, not total accepts.
+                let mut handlers = handlers.lock();
+                handlers.retain(|h| !h.is_finished());
+                handlers.push(handle);
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+/// One producer connection: reassemble frames, bridge them into the
+/// service, reply in request order.
+fn handle_connection(
+    stream: TcpStream,
+    service: &ShardedSpadeService,
+    stop: &AtomicBool,
+    telemetry: &NetTelemetry,
+) -> std::io::Result<()> {
+    stream.set_nodelay(true).ok();
+    // A finite read timeout lets the handler notice the stop flag while
+    // idle; partial frames survive timeouts because the decoder buffers
+    // across reads.
+    stream.set_read_timeout(Some(READ_POLL))?;
+    let mut reader = stream.try_clone()?;
+    let mut writer = std::io::BufWriter::new(stream);
+    let mut decoder = FrameDecoder::new();
+    let mut chunk = vec![0u8; 64 * 1024];
+    'conn: while !stop.load(Ordering::Acquire) {
+        let n = match reader.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => break,
+        };
+        decoder.extend(&chunk[..n]);
+        loop {
+            match decoder.next_frame() {
+                Ok(Some(frame)) => {
+                    telemetry.frames.fetch_add(1, Ordering::Relaxed);
+                    if !handle_frame(frame, service, stop, telemetry, &mut writer)? {
+                        writer.flush()?;
+                        break 'conn;
+                    }
+                }
+                Ok(None) => break,
+                Err(err) => {
+                    // Framing is untrustworthy from here on: answer with
+                    // the cause and hang up.
+                    telemetry.malformed_frames.fetch_add(1, Ordering::Relaxed);
+                    let _ =
+                        write_frame(&mut writer, &WireFrame::Error { message: err.to_string() });
+                    writer.flush()?;
+                    break 'conn;
+                }
+            }
+        }
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+/// Applies one decoded request, writing the reply (unflushed). Returns
+/// `false` when the connection must close.
+fn handle_frame<W: Write>(
+    frame: WireFrame,
+    service: &ShardedSpadeService,
+    stop: &AtomicBool,
+    telemetry: &NetTelemetry,
+    out: &mut W,
+) -> std::io::Result<bool> {
+    match frame {
+        WireFrame::Edge { src, dst, raw } => {
+            let (reply, alive) = submit_run(&[(src, dst, raw)], service, telemetry);
+            write_frame(out, &reply)?;
+            Ok(alive)
+        }
+        WireFrame::Batch { edges } => {
+            let (reply, alive) = submit_run(&edges, service, telemetry);
+            write_frame(out, &reply)?;
+            Ok(alive)
+        }
+        WireFrame::Flush => {
+            if service.flush() {
+                write_frame(out, &WireFrame::Ack { accepted: 0 })?;
+                Ok(true)
+            } else {
+                write_frame(out, &WireFrame::Error { message: "runtime has shut down".into() })?;
+                Ok(false)
+            }
+        }
+        WireFrame::Detect => {
+            // Read-your-acks: every edge the server acknowledged before
+            // this request must be reflected in the answer, so wait for
+            // the shards to apply what is already queued. Acked edges
+            // always drain (workers never drop queued commands), so the
+            // deadline only matters if the runtime is torn down under us.
+            let acked = telemetry.edges_accepted.load(Ordering::Acquire);
+            let deadline = std::time::Instant::now() + Duration::from_secs(10);
+            while applied_total(service) < acked && std::time::Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            let global = service.current_detection();
+            write_frame(
+                out,
+                &WireFrame::Detection(crate::wire::DetectionReply {
+                    size: global.best.size as u64,
+                    density: global.best.density,
+                    updates_applied: global.total_updates,
+                    members: global.best.members.to_vec(),
+                }),
+            )?;
+            Ok(true)
+        }
+        WireFrame::Stats => {
+            let shard_stats = service.stats();
+            let t = telemetry;
+            write_frame(
+                out,
+                &WireFrame::StatsReply(StatsReply {
+                    shards: shard_stats.len() as u64,
+                    updates_applied: shard_stats.iter().map(|s| s.service.updates_applied).sum(),
+                    queue_depth: shard_stats.iter().map(|s| s.service.queue_depth as u64).sum(),
+                    connections: t.connections.load(Ordering::Relaxed),
+                    frames: t.frames.load(Ordering::Relaxed),
+                    edges_accepted: t.edges_accepted.load(Ordering::Relaxed),
+                    busy_replies: t.busy_replies.load(Ordering::Relaxed),
+                    malformed_frames: t.malformed_frames.load(Ordering::Relaxed),
+                }),
+            )?;
+            Ok(true)
+        }
+        WireFrame::Shutdown => {
+            // The coordinator's end-of-stream marker: acknowledge, then
+            // stop the whole server (acked edges stay queued — the
+            // operator drains them by shutting the service down).
+            write_frame(out, &WireFrame::Ack { accepted: 0 })?;
+            stop.store(true, Ordering::Release);
+            Ok(false)
+        }
+        // Reply frames arriving at the server are a protocol violation.
+        WireFrame::Ack { .. }
+        | WireFrame::Busy { .. }
+        | WireFrame::Detection(_)
+        | WireFrame::StatsReply(_)
+        | WireFrame::Error { .. } => {
+            telemetry.malformed_frames.fetch_add(1, Ordering::Relaxed);
+            write_frame(out, &WireFrame::Error { message: "reply frame sent to server".into() })?;
+            Ok(false)
+        }
+    }
+}
+
+/// Ingest commands applied across all shards.
+fn applied_total(service: &ShardedSpadeService) -> u64 {
+    service.stats().iter().map(|s| s.service.updates_applied).sum()
+}
+
+/// Enqueues a run of edges until done or a shard queue fills, producing
+/// the Ack/Busy/Error reply. Returns `(reply, keep_connection)`.
+fn submit_run(
+    edges: &[(VertexId, VertexId, f64)],
+    service: &ShardedSpadeService,
+    telemetry: &NetTelemetry,
+) -> (WireFrame, bool) {
+    let mut accepted = 0u64;
+    for &(src, dst, raw) in edges {
+        match service.try_submit(src, dst, raw) {
+            TrySubmit::Queued => accepted += 1,
+            TrySubmit::Full => {
+                telemetry.edges_accepted.fetch_add(accepted, Ordering::Relaxed);
+                telemetry.busy_replies.fetch_add(1, Ordering::Relaxed);
+                return (WireFrame::Busy { accepted }, true);
+            }
+            TrySubmit::Closed => {
+                telemetry.edges_accepted.fetch_add(accepted, Ordering::Relaxed);
+                return (WireFrame::Error { message: "runtime has shut down".into() }, false);
+            }
+        }
+    }
+    telemetry.edges_accepted.fetch_add(accepted, Ordering::Relaxed);
+    (WireFrame::Ack { accepted }, true)
+}

@@ -1,0 +1,602 @@
+//! The length-prefixed binary wire protocol.
+//!
+//! A frame is `u32 payload_len` followed by `payload_len` payload bytes;
+//! the payload is a one-byte opcode plus a fixed layout per frame kind,
+//! encoded through the same [`bytes`] primitives as the
+//! `spade_core::persist` snapshot codec. Decoding is defensive
+//! throughout: every section length is overflow-checked against the
+//! remaining buffer before a single record is read, unknown opcodes and
+//! trailing bytes are errors, and an oversized length prefix is rejected
+//! before any allocation — a malicious or corrupt producer can terminate
+//! its own connection, never the server.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use spade_graph::VertexId;
+use std::io::{Read, Write};
+
+/// Upper bound on one frame's payload (1 MiB). A length prefix above
+/// this is rejected before allocating.
+pub const MAX_FRAME_BYTES: usize = 1 << 20;
+
+/// Most edges one `Batch` frame can carry within [`MAX_FRAME_BYTES`]
+/// (opcode byte + u32 count + 16 bytes per edge).
+pub const MAX_BATCH_EDGES: usize = (MAX_FRAME_BYTES - 5) / 16;
+
+/// Most members a `Detection` reply ships within [`MAX_FRAME_BYTES`]
+/// (header 29 bytes + 4 per member); a larger community truncates its
+/// member list at encode time while `size` keeps the true count.
+pub const MAX_DETECTION_MEMBERS: usize = (MAX_FRAME_BYTES - 29) / 4;
+
+/// Longest `Error` message shipped over the wire; longer ones truncate
+/// at encode time.
+const MAX_ERROR_BYTES: usize = 512;
+
+const OP_EDGE: u8 = 0x01;
+const OP_BATCH: u8 = 0x02;
+const OP_FLUSH: u8 = 0x03;
+const OP_DETECT: u8 = 0x04;
+const OP_STATS: u8 = 0x05;
+const OP_SHUTDOWN: u8 = 0x06;
+const OP_ACK: u8 = 0x81;
+const OP_BUSY: u8 = 0x82;
+const OP_DETECTION: u8 = 0x83;
+const OP_STATS_REPLY: u8 = 0x84;
+const OP_ERROR: u8 = 0x85;
+
+/// Errors raised while decoding or transporting frames.
+#[derive(Debug)]
+pub enum WireError {
+    /// Underlying socket/stream failure.
+    Io(std::io::Error),
+    /// A length prefix exceeded [`MAX_FRAME_BYTES`].
+    Oversized(usize),
+    /// The payload carried an opcode this protocol version doesn't know.
+    BadOpcode(u8),
+    /// Structurally invalid payload (truncated section, trailing bytes,
+    /// inconsistent counts).
+    Corrupt(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "wire I/O error: {e}"),
+            WireError::Oversized(len) => {
+                write!(f, "frame length {len} exceeds the {MAX_FRAME_BYTES}-byte bound")
+            }
+            WireError::BadOpcode(op) => write!(f, "unknown frame opcode 0x{op:02x}"),
+            WireError::Corrupt(what) => write!(f, "corrupt frame: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+impl From<WireError> for std::io::Error {
+    fn from(e: WireError) -> Self {
+        match e {
+            WireError::Io(io) => io,
+            other => std::io::Error::new(std::io::ErrorKind::InvalidData, other.to_string()),
+        }
+    }
+}
+
+/// The server's answer to a `Detect` request: the merged global
+/// detection (densest community across shards).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DetectionReply {
+    /// Community size.
+    pub size: u64,
+    /// Community density `g(S_P)`.
+    pub density: f64,
+    /// Ingest commands applied across all shards at snapshot time.
+    pub updates_applied: u64,
+    /// Community members (global vertex ids). Truncated to
+    /// [`MAX_DETECTION_MEMBERS`] on the wire so the frame stays within
+    /// [`MAX_FRAME_BYTES`]; compare against `size` to detect truncation
+    /// (a >262k-member "community" is the benign giant component, not a
+    /// reviewable fraud ring).
+    pub members: Vec<VertexId>,
+}
+
+/// The server's answer to a `Stats` request: runtime totals plus the
+/// transport's own counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsReply {
+    /// Worker shards behind the server.
+    pub shards: u64,
+    /// Ingest commands applied across all shards.
+    pub updates_applied: u64,
+    /// Commands currently waiting in shard queues.
+    pub queue_depth: u64,
+    /// Connections accepted since the server started.
+    pub connections: u64,
+    /// Frames decoded across all connections.
+    pub frames: u64,
+    /// Edges acknowledged (enqueued into a shard) across all connections.
+    pub edges_accepted: u64,
+    /// Busy replies sent (an edge bounced off a full shard queue).
+    pub busy_replies: u64,
+    /// Connections dropped over malformed frames.
+    pub malformed_frames: u64,
+}
+
+/// One protocol frame, request or reply.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WireFrame {
+    /// One transaction.
+    Edge {
+        /// Source account.
+        src: VertexId,
+        /// Destination account.
+        dst: VertexId,
+        /// Raw transaction weight (metric input).
+        raw: f64,
+    },
+    /// A run of transactions applied in order — the unit the client
+    /// pipelines and the shard workers drain-coalesce.
+    Batch {
+        /// The transactions, in submission order.
+        edges: Vec<(VertexId, VertexId, f64)>,
+    },
+    /// Ask every shard to flush buffered benign edges.
+    Flush,
+    /// Ask for the merged global detection.
+    Detect,
+    /// Ask for runtime + transport statistics.
+    Stats,
+    /// Stop the server once this frame is processed (the replay
+    /// coordinator's end-of-stream marker).
+    Shutdown,
+    /// Request processed; `accepted` edges were enqueued (0 for
+    /// non-ingest requests).
+    Ack {
+        /// Edges enqueued from the acknowledged frame.
+        accepted: u64,
+    },
+    /// A shard queue was full: only the first `accepted` edges of the
+    /// frame were enqueued — retry the rest after a pause.
+    Busy {
+        /// Edges enqueued before the queue filled.
+        accepted: u64,
+    },
+    /// The merged global detection.
+    Detection(DetectionReply),
+    /// Runtime + transport statistics.
+    StatsReply(StatsReply),
+    /// The request failed; the connection closes after this frame.
+    Error {
+        /// Human-readable cause.
+        message: String,
+    },
+}
+
+/// Overflow-safe section check: `count` records of `width` bytes must
+/// fit in the remaining payload (a crafted 32-bit count must fail
+/// decoding, not wrap the multiplication).
+fn check_section(
+    buf: &Bytes,
+    count: usize,
+    width: usize,
+    what: &'static str,
+) -> Result<(), WireError> {
+    match count.checked_mul(width) {
+        Some(need) if buf.remaining() >= need => Ok(()),
+        _ => Err(WireError::Corrupt(what)),
+    }
+}
+
+fn need(buf: &Bytes, n: usize, what: &'static str) -> Result<(), WireError> {
+    if buf.remaining() < n {
+        return Err(WireError::Corrupt(what));
+    }
+    Ok(())
+}
+
+impl WireFrame {
+    /// Serializes the frame, **including** its length prefix, ready to
+    /// write to a socket. Panics if a `Batch` exceeds
+    /// [`MAX_BATCH_EDGES`] — producers chunk below the bound (the client
+    /// does this automatically).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = BytesMut::with_capacity(self.encoded_hint());
+        match self {
+            WireFrame::Edge { src, dst, raw } => {
+                payload.put_slice(&[OP_EDGE]);
+                payload.put_u32_le(src.0);
+                payload.put_u32_le(dst.0);
+                payload.put_f64_le(*raw);
+            }
+            WireFrame::Batch { edges } => {
+                assert!(edges.len() <= MAX_BATCH_EDGES, "batch exceeds the frame bound");
+                payload.put_slice(&[OP_BATCH]);
+                payload.put_u32_le(edges.len() as u32);
+                for &(src, dst, raw) in edges {
+                    payload.put_u32_le(src.0);
+                    payload.put_u32_le(dst.0);
+                    payload.put_f64_le(raw);
+                }
+            }
+            WireFrame::Flush => payload.put_slice(&[OP_FLUSH]),
+            WireFrame::Detect => payload.put_slice(&[OP_DETECT]),
+            WireFrame::Stats => payload.put_slice(&[OP_STATS]),
+            WireFrame::Shutdown => payload.put_slice(&[OP_SHUTDOWN]),
+            WireFrame::Ack { accepted } => {
+                payload.put_slice(&[OP_ACK]);
+                payload.put_u64_le(*accepted);
+            }
+            WireFrame::Busy { accepted } => {
+                payload.put_slice(&[OP_BUSY]);
+                payload.put_u64_le(*accepted);
+            }
+            WireFrame::Detection(det) => {
+                payload.put_slice(&[OP_DETECTION]);
+                payload.put_u64_le(det.size);
+                payload.put_f64_le(det.density);
+                payload.put_u64_le(det.updates_applied);
+                // Keep the frame within MAX_FRAME_BYTES no matter how
+                // large the community is: ship a truncated member list
+                // (size above carries the true count).
+                let members = &det.members[..det.members.len().min(MAX_DETECTION_MEMBERS)];
+                payload.put_u32_le(members.len() as u32);
+                for m in members {
+                    payload.put_u32_le(m.0);
+                }
+            }
+            WireFrame::StatsReply(s) => {
+                payload.put_slice(&[OP_STATS_REPLY]);
+                for v in [
+                    s.shards,
+                    s.updates_applied,
+                    s.queue_depth,
+                    s.connections,
+                    s.frames,
+                    s.edges_accepted,
+                    s.busy_replies,
+                    s.malformed_frames,
+                ] {
+                    payload.put_u64_le(v);
+                }
+            }
+            WireFrame::Error { message } => {
+                payload.put_slice(&[OP_ERROR]);
+                let bytes = message.as_bytes();
+                let cut = bytes.len().min(MAX_ERROR_BYTES);
+                // Never split a UTF-8 sequence at the truncation point.
+                let cut = (0..=cut).rev().find(|&i| message.is_char_boundary(i)).unwrap_or(0);
+                payload.put_slice(&bytes[..cut]);
+            }
+        }
+        debug_assert!(payload.len() <= MAX_FRAME_BYTES, "encoded frame exceeds the bound");
+        let payload = payload.freeze();
+        let mut frame = Vec::with_capacity(4 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        frame
+    }
+
+    /// Rough payload size, to pre-reserve the encode buffer.
+    fn encoded_hint(&self) -> usize {
+        match self {
+            WireFrame::Batch { edges } => 5 + edges.len() * 16,
+            WireFrame::Detection(det) => 29 + det.members.len().min(MAX_DETECTION_MEMBERS) * 4,
+            WireFrame::Error { message } => 1 + message.len().min(MAX_ERROR_BYTES),
+            WireFrame::StatsReply(_) => 65,
+            _ => 17,
+        }
+    }
+
+    /// Decodes one payload (the bytes **after** the length prefix).
+    /// Every failure is an error, never a panic: truncated sections,
+    /// count/length mismatches, unknown opcodes, trailing garbage.
+    pub fn decode_payload(payload: &[u8]) -> Result<WireFrame, WireError> {
+        let mut buf = Bytes::from(payload);
+        need(&buf, 1, "empty payload")?;
+        let opcode = buf.take_bytes(1)[0];
+        let frame = match opcode {
+            OP_EDGE => {
+                need(&buf, 16, "truncated edge")?;
+                WireFrame::Edge {
+                    src: VertexId(buf.get_u32_le()),
+                    dst: VertexId(buf.get_u32_le()),
+                    raw: buf.get_f64_le(),
+                }
+            }
+            OP_BATCH => {
+                need(&buf, 4, "truncated batch header")?;
+                let count = buf.get_u32_le() as usize;
+                check_section(&buf, count, 16, "truncated batch")?;
+                let mut edges = Vec::with_capacity(count);
+                for _ in 0..count {
+                    edges.push((
+                        VertexId(buf.get_u32_le()),
+                        VertexId(buf.get_u32_le()),
+                        buf.get_f64_le(),
+                    ));
+                }
+                WireFrame::Batch { edges }
+            }
+            OP_FLUSH => WireFrame::Flush,
+            OP_DETECT => WireFrame::Detect,
+            OP_STATS => WireFrame::Stats,
+            OP_SHUTDOWN => WireFrame::Shutdown,
+            OP_ACK => {
+                need(&buf, 8, "truncated ack")?;
+                WireFrame::Ack { accepted: buf.get_u64_le() }
+            }
+            OP_BUSY => {
+                need(&buf, 8, "truncated busy")?;
+                WireFrame::Busy { accepted: buf.get_u64_le() }
+            }
+            OP_DETECTION => {
+                need(&buf, 28, "truncated detection header")?;
+                let size = buf.get_u64_le();
+                let density = buf.get_f64_le();
+                let updates_applied = buf.get_u64_le();
+                let count = buf.get_u32_le() as usize;
+                check_section(&buf, count, 4, "truncated member list")?;
+                let members = (0..count).map(|_| VertexId(buf.get_u32_le())).collect();
+                WireFrame::Detection(DetectionReply { size, density, updates_applied, members })
+            }
+            OP_STATS_REPLY => {
+                need(&buf, 64, "truncated stats reply")?;
+                WireFrame::StatsReply(StatsReply {
+                    shards: buf.get_u64_le(),
+                    updates_applied: buf.get_u64_le(),
+                    queue_depth: buf.get_u64_le(),
+                    connections: buf.get_u64_le(),
+                    frames: buf.get_u64_le(),
+                    edges_accepted: buf.get_u64_le(),
+                    busy_replies: buf.get_u64_le(),
+                    malformed_frames: buf.get_u64_le(),
+                })
+            }
+            OP_ERROR => {
+                let raw = buf.take_bytes(buf.remaining()).to_vec();
+                let message = String::from_utf8(raw)
+                    .map_err(|_| WireError::Corrupt("error message is not UTF-8"))?;
+                return Ok(WireFrame::Error { message });
+            }
+            other => return Err(WireError::BadOpcode(other)),
+        };
+        if buf.remaining() != 0 {
+            return Err(WireError::Corrupt("trailing bytes after frame body"));
+        }
+        Ok(frame)
+    }
+}
+
+/// Incremental frame reassembly over a byte stream: feed whatever the
+/// socket produced with [`extend`](Self::extend), pop complete frames
+/// with [`next`](Self::next). Bytes are buffered across calls, so frames
+/// may arrive split at ANY byte boundary (including inside the length
+/// prefix) — the property tests feed one byte at a time.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    start: usize,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> Self {
+        FrameDecoder::default()
+    }
+
+    /// Appends raw stream bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        // Reclaim consumed prefix space before growing, so a long-lived
+        // connection never accumulates dead bytes.
+        if self.start > 0 && (self.start == self.buf.len() || self.start >= (1 << 16)) {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed as frames.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.start
+    }
+
+    /// Pops the next complete frame, `Ok(None)` while the buffer holds
+    /// only part of one. An oversized length prefix or a corrupt payload
+    /// is an error; the offending frame's bytes are consumed, but a
+    /// server should treat any error as fatal for the connection (framing
+    /// can no longer be trusted).
+    pub fn next_frame(&mut self) -> Result<Option<WireFrame>, WireError> {
+        if self.buffered() < 4 {
+            return Ok(None);
+        }
+        let head = &self.buf[self.start..self.start + 4];
+        let len = u32::from_le_bytes(head.try_into().expect("4-byte slice")) as usize;
+        if len > MAX_FRAME_BYTES {
+            // Consume the prefix so a caller that (wrongly) continues
+            // does not loop forever on the same bytes.
+            self.start += 4;
+            return Err(WireError::Oversized(len));
+        }
+        if self.buffered() < 4 + len {
+            return Ok(None);
+        }
+        let payload_at = self.start + 4;
+        let frame = WireFrame::decode_payload(&self.buf[payload_at..payload_at + len]);
+        self.start += 4 + len;
+        frame.map(Some)
+    }
+}
+
+/// Writes one frame (length prefix included) to `w`. The caller flushes
+/// — the client deliberately leaves batches buffered to pipeline them.
+pub fn write_frame<W: Write>(w: &mut W, frame: &WireFrame) -> std::io::Result<()> {
+    w.write_all(&frame.encode())
+}
+
+/// Reads exactly one frame from `r` (blocking). Returns `Ok(None)` on a
+/// clean EOF **at a frame boundary**; EOF mid-frame is an error.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Option<WireFrame>, WireError> {
+    let mut head = [0u8; 4];
+    let mut filled = 0;
+    while filled < 4 {
+        let n = r.read(&mut head[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None);
+            }
+            return Err(WireError::Corrupt("EOF inside a length prefix"));
+        }
+        filled += n;
+    }
+    let len = u32::from_le_bytes(head) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(WireError::Oversized(len));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload).map_err(|_| WireError::Corrupt("EOF inside a payload"))?;
+    WireFrame::decode_payload(&payload).map(Some)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(i: u32) -> VertexId {
+        VertexId(i)
+    }
+
+    fn roundtrip(frame: WireFrame) {
+        let bytes = frame.encode();
+        let mut dec = FrameDecoder::new();
+        dec.extend(&bytes);
+        assert_eq!(dec.next_frame().unwrap(), Some(frame));
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn every_frame_kind_roundtrips() {
+        roundtrip(WireFrame::Edge { src: v(1), dst: v(2), raw: 3.5 });
+        roundtrip(WireFrame::Batch { edges: vec![(v(0), v(1), 1.0), (v(9), v(7), 0.25)] });
+        roundtrip(WireFrame::Batch { edges: Vec::new() });
+        roundtrip(WireFrame::Flush);
+        roundtrip(WireFrame::Detect);
+        roundtrip(WireFrame::Stats);
+        roundtrip(WireFrame::Shutdown);
+        roundtrip(WireFrame::Ack { accepted: u64::MAX });
+        roundtrip(WireFrame::Busy { accepted: 7 });
+        roundtrip(WireFrame::Detection(DetectionReply {
+            size: 3,
+            density: 41.25,
+            updates_applied: 900,
+            members: vec![v(5), v(6), v(7)],
+        }));
+        roundtrip(WireFrame::StatsReply(StatsReply {
+            shards: 4,
+            updates_applied: 10,
+            queue_depth: 2,
+            connections: 3,
+            frames: 9,
+            edges_accepted: 8,
+            busy_replies: 1,
+            malformed_frames: 0,
+        }));
+        roundtrip(WireFrame::Error { message: "queue déjà full".into() });
+    }
+
+    #[test]
+    fn split_delivery_reassembles() {
+        let frames =
+            [WireFrame::Edge { src: v(1), dst: v(2), raw: 9.0 }, WireFrame::Ack { accepted: 1 }];
+        let mut bytes = Vec::new();
+        for f in &frames {
+            bytes.extend_from_slice(&f.encode());
+        }
+        let mut dec = FrameDecoder::new();
+        let mut got = Vec::new();
+        for b in bytes {
+            dec.extend(&[b]);
+            while let Some(f) = dec.next_frame().unwrap() {
+                got.push(f);
+            }
+        }
+        assert_eq!(got.as_slice(), frames.as_slice());
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocation() {
+        let mut dec = FrameDecoder::new();
+        dec.extend(&(u32::MAX).to_le_bytes());
+        assert!(matches!(dec.next_frame(), Err(WireError::Oversized(_))));
+    }
+
+    #[test]
+    fn truncated_and_garbage_payloads_error_not_panic() {
+        // A batch claiming more edges than the payload holds.
+        let mut payload = vec![OP_BATCH];
+        payload.extend_from_slice(&1000u32.to_le_bytes());
+        payload.extend_from_slice(&[0u8; 16]); // room for exactly one
+        assert!(matches!(WireFrame::decode_payload(&payload), Err(WireError::Corrupt(_))));
+
+        // A batch count crafted to overflow count * 16.
+        let mut wrap = vec![OP_BATCH];
+        wrap.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(WireFrame::decode_payload(&wrap), Err(WireError::Corrupt(_))));
+
+        assert!(matches!(WireFrame::decode_payload(&[]), Err(WireError::Corrupt(_))));
+        assert!(matches!(WireFrame::decode_payload(&[0x7f]), Err(WireError::BadOpcode(0x7f))));
+        // Trailing bytes after a fixed-size body.
+        let mut trailing = WireFrame::Flush.encode()[4..].to_vec();
+        trailing.push(0);
+        assert!(matches!(WireFrame::decode_payload(&trailing), Err(WireError::Corrupt(_))));
+    }
+
+    #[test]
+    fn read_frame_distinguishes_clean_eof_from_truncation() {
+        let bytes = WireFrame::Detect.encode();
+        let mut cursor = &bytes[..];
+        assert_eq!(read_frame(&mut cursor).unwrap(), Some(WireFrame::Detect));
+        assert_eq!(read_frame(&mut cursor).unwrap(), None, "clean EOF at a boundary");
+        let mut cut = &bytes[..3];
+        assert!(matches!(read_frame(&mut cut), Err(WireError::Corrupt(_))));
+    }
+
+    #[test]
+    fn oversized_detection_replies_truncate_instead_of_breaking_framing() {
+        // A "community" larger than the frame bound (the benign giant
+        // component, in practice): the member list truncates on the wire
+        // while size keeps the true count, and the frame stays decodable.
+        let huge = WireFrame::Detection(DetectionReply {
+            size: (MAX_DETECTION_MEMBERS + 1000) as u64,
+            density: 1.5,
+            updates_applied: 9,
+            members: (0..(MAX_DETECTION_MEMBERS + 1000) as u32).map(v).collect(),
+        });
+        let bytes = huge.encode();
+        assert!(bytes.len() <= 4 + MAX_FRAME_BYTES);
+        let mut dec = FrameDecoder::new();
+        dec.extend(&bytes);
+        let Some(WireFrame::Detection(det)) = dec.next_frame().unwrap() else {
+            panic!("expected a detection frame");
+        };
+        assert_eq!(det.members.len(), MAX_DETECTION_MEMBERS);
+        assert_eq!(det.size, (MAX_DETECTION_MEMBERS + 1000) as u64, "true size survives");
+    }
+
+    #[test]
+    fn error_messages_truncate_on_char_boundaries() {
+        let long = "é".repeat(MAX_ERROR_BYTES); // 2 bytes per char
+        let bytes = WireFrame::Error { message: long }.encode();
+        let mut dec = FrameDecoder::new();
+        dec.extend(&bytes);
+        let Some(WireFrame::Error { message }) = dec.next_frame().unwrap() else {
+            panic!("expected an error frame");
+        };
+        assert!(message.len() <= MAX_ERROR_BYTES);
+        assert!(message.chars().all(|c| c == 'é'));
+    }
+}

@@ -1,0 +1,146 @@
+//! Server integration smoke tests over a real loopback socket: a basic
+//! produce → detect roundtrip, protocol queries, and the malformed-frame
+//! smoke check (garbage bytes earn an Error reply and a closed
+//! connection while the server keeps serving everyone else).
+
+use spade_core::metric::WeightedDensity;
+use spade_core::shard::{ShardedConfig, ShardedSpadeService};
+use spade_core::PartitionStrategy;
+use spade_graph::VertexId;
+use spade_net::{read_frame, SpadeNetClient, SpadeNetServer, WireFrame};
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+
+fn v(i: u32) -> VertexId {
+    VertexId(i)
+}
+
+fn spawn_server(shards: usize) -> (Arc<ShardedSpadeService>, SpadeNetServer) {
+    let config = ShardedConfig {
+        shards,
+        strategy: PartitionStrategy::HashBySource,
+        ..ShardedConfig::with_shards(shards)
+    };
+    let service = Arc::new(ShardedSpadeService::spawn(WeightedDensity, config));
+    let server = SpadeNetServer::bind(Arc::clone(&service), "127.0.0.1:0").expect("bind");
+    (service, server)
+}
+
+#[test]
+fn a_producer_feeds_the_runtime_and_reads_the_detection_back() {
+    let (service, server) = spawn_server(2);
+    let mut client = SpadeNetClient::connect(server.local_addr()).expect("connect");
+    for i in 0..10u32 {
+        client.submit(v(i), v(i + 1), 1.0).unwrap();
+    }
+    for a in 50..54u32 {
+        for b in 50..54u32 {
+            if a != b {
+                client.submit(v(a), v(b), 25.0).unwrap();
+            }
+        }
+    }
+    let det = client.detect().expect("detect");
+    assert!(det.density > 10.0);
+    assert!(det.members.iter().all(|m| (50..54).contains(&m.0)));
+    assert_eq!(det.updates_applied, 10 + 12);
+
+    let remote = client.server_stats().expect("stats");
+    assert_eq!(remote.shards, 2);
+    assert_eq!(remote.edges_accepted, 22);
+    assert_eq!(remote.connections, 1);
+    assert!(remote.frames >= 3);
+
+    let stats = client.finish().expect("finish");
+    assert_eq!(stats.edges_submitted, 22);
+    assert_eq!(stats.edges_acked, 22);
+
+    let net = server.shutdown();
+    assert_eq!(net.edges_accepted, 22);
+    assert_eq!(net.malformed_frames, 0);
+    let service = Arc::try_unwrap(service).unwrap_or_else(|_| panic!("service still shared"));
+    let global = service.shutdown();
+    assert_eq!(global.total_updates, 22);
+}
+
+#[test]
+fn malformed_frames_get_an_error_reply_and_do_not_kill_the_server() {
+    let (service, server) = spawn_server(2);
+
+    // A hostile producer: a length prefix far beyond the frame bound.
+    let mut hostile = TcpStream::connect(server.local_addr()).expect("connect");
+    hostile.write_all(&u32::MAX.to_le_bytes()).unwrap();
+    hostile.flush().unwrap();
+    match read_frame(&mut hostile).expect("an error reply, not a dropped byte stream") {
+        Some(WireFrame::Error { message }) => assert!(message.contains("exceeds")),
+        other => panic!("expected an Error frame, got {other:?}"),
+    }
+    // The server hangs up on the hostile connection...
+    assert_eq!(read_frame(&mut hostile).expect("clean close"), None);
+
+    // A second hostile producer: valid length, garbage opcode.
+    let mut garbage = TcpStream::connect(server.local_addr()).expect("connect");
+    garbage.write_all(&5u32.to_le_bytes()).unwrap();
+    garbage.write_all(&[0x7f, 1, 2, 3, 4]).unwrap();
+    garbage.flush().unwrap();
+    match read_frame(&mut garbage).expect("an error reply") {
+        Some(WireFrame::Error { message }) => assert!(message.contains("opcode")),
+        other => panic!("expected an Error frame, got {other:?}"),
+    }
+
+    // ...while honest producers keep working on the same server.
+    let mut honest = SpadeNetClient::connect(server.local_addr()).expect("connect");
+    for a in 10..13u32 {
+        for b in 10..13u32 {
+            if a != b {
+                honest.submit(v(a), v(b), 9.0).unwrap();
+            }
+        }
+    }
+    let det = honest.detect().expect("detect still works");
+    assert_eq!(det.size, 3);
+    drop(honest);
+
+    let net = server.shutdown();
+    assert!(net.malformed_frames >= 2);
+    assert_eq!(net.edges_accepted, 6);
+    drop(service);
+}
+
+#[test]
+fn shutdown_frame_stops_the_server() {
+    let (service, server) = spawn_server(1);
+    let mut client = SpadeNetClient::connect(server.local_addr()).expect("connect");
+    client.submit(v(0), v(1), 2.0).unwrap();
+    client.shutdown_server().expect("shutdown handshake");
+    // The stop flag must flip promptly (the CLI's serve loop polls it).
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    while !server.is_stopped() {
+        assert!(std::time::Instant::now() < deadline, "server failed to stop");
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    let net = server.shutdown();
+    assert_eq!(net.edges_accepted, 1);
+    let service = Arc::try_unwrap(service).unwrap_or_else(|_| panic!("service still shared"));
+    assert_eq!(service.shutdown().total_updates, 1);
+}
+
+#[test]
+fn empty_batches_and_pipelined_sends_are_harmless() {
+    let (service, server) = spawn_server(2);
+    let mut client = SpadeNetClient::connect_with(
+        server.local_addr(),
+        spade_net::ClientConfig { batch: 4, pipeline: 3, ..Default::default() },
+    )
+    .expect("connect");
+    // Deep pipelining across many small batches.
+    for i in 0..200u32 {
+        client.submit(v(i % 40), v((i + 1) % 40), 1.0 + (i % 7) as f64).unwrap();
+    }
+    let stats = client.finish().expect("finish");
+    assert_eq!(stats.edges_acked, 200);
+    server.shutdown();
+    let service = Arc::try_unwrap(service).unwrap_or_else(|_| panic!("service still shared"));
+    assert_eq!(service.shutdown().total_updates, 200);
+}

@@ -1,0 +1,151 @@
+//! Property tests of the wire codec: every frame kind roundtrips
+//! bit-exactly through encode → (arbitrarily fragmented) decode, and the
+//! decoder rejects truncated, oversized, and garbage input with an error
+//! — never a panic — mirroring the overflow-safe section checks the
+//! `SubgraphSnapshot` codec gets in `spade-core`.
+
+use proptest::prelude::*;
+use spade_graph::VertexId;
+use spade_net::{DetectionReply, FrameDecoder, StatsReply, WireError, WireFrame};
+
+fn v(i: u32) -> VertexId {
+    VertexId(i)
+}
+
+/// One arbitrary frame of any kind, request or reply.
+fn arb_frame() -> impl Strategy<Value = WireFrame> {
+    let edge = (0u32..u32::MAX, 0u32..u32::MAX, 0.0f64..1e9)
+        .prop_map(|(s, d, raw)| WireFrame::Edge { src: v(s), dst: v(d), raw });
+    let batch =
+        collection::vec((0u32..100_000, 0u32..100_000, 0.0f64..1e6), 0..64).prop_map(|edges| {
+            WireFrame::Batch { edges: edges.into_iter().map(|(s, d, w)| (v(s), v(d), w)).collect() }
+        });
+    let detection = (0u64..1_000_000, 0.0f64..1e9, 0u64..u64::MAX)
+        .prop_map(|(size, density, updates)| (size, density, updates));
+    let detection = (detection, collection::vec(0u32..u32::MAX, 0..128)).prop_map(
+        |((size, density, updates_applied), members)| {
+            WireFrame::Detection(DetectionReply {
+                size,
+                density,
+                updates_applied,
+                members: members.into_iter().map(v).collect(),
+            })
+        },
+    );
+    let stats = (
+        (0u64..100, 0u64..1 << 40, 0u64..1 << 20, 0u64..1 << 20),
+        (0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 30, 0u64..1 << 30),
+    )
+        .prop_map(
+            |(
+                (shards, updates_applied, queue_depth, connections),
+                (frames, edges_accepted, busy_replies, malformed_frames),
+            )| {
+                WireFrame::StatsReply(StatsReply {
+                    shards,
+                    updates_applied,
+                    queue_depth,
+                    connections,
+                    frames,
+                    edges_accepted,
+                    busy_replies,
+                    malformed_frames,
+                })
+            },
+        );
+    prop_oneof![
+        4 => edge,
+        4 => batch,
+        1 => Just(WireFrame::Flush),
+        1 => Just(WireFrame::Detect),
+        1 => Just(WireFrame::Stats),
+        1 => Just(WireFrame::Shutdown),
+        2 => (0u64..u64::MAX).prop_map(|accepted| WireFrame::Ack { accepted }),
+        2 => (0u64..u64::MAX).prop_map(|accepted| WireFrame::Busy { accepted }),
+        2 => detection,
+        1 => stats,
+        1 => collection::vec(32u8..127, 0..100).prop_map(|raw| WireFrame::Error {
+            message: String::from_utf8(raw).expect("printable ASCII"),
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Encode → decode is the identity for every frame kind, regardless
+    /// of how the byte stream fragments.
+    #[test]
+    fn arbitrary_frames_roundtrip_under_arbitrary_fragmentation(
+        frames in collection::vec(arb_frame(), 1..8),
+        chunk in 1usize..97,
+    ) {
+        let mut bytes = Vec::new();
+        for f in &frames {
+            bytes.extend_from_slice(&f.encode());
+        }
+        let mut decoder = FrameDecoder::new();
+        let mut got = Vec::new();
+        for piece in bytes.chunks(chunk) {
+            decoder.extend(piece);
+            while let Some(frame) = decoder.next_frame().expect("valid stream") {
+                got.push(frame);
+            }
+        }
+        prop_assert_eq!(got, frames);
+        prop_assert_eq!(decoder.buffered(), 0);
+    }
+
+    /// Any truncation of a valid frame either waits for more bytes or
+    /// fails cleanly on a later feed — it never yields a wrong frame and
+    /// never panics.
+    #[test]
+    fn truncated_frames_never_decode_to_a_frame(
+        frame in arb_frame(),
+        cut_back in 1usize..64,
+    ) {
+        let bytes = frame.encode();
+        let cut = bytes.len().saturating_sub(cut_back).max(1);
+        let mut decoder = FrameDecoder::new();
+        decoder.extend(&bytes[..cut]);
+        // With part of the frame missing the decoder must hold, not
+        // fabricate.
+        prop_assert!(matches!(decoder.next_frame(), Ok(None)));
+        // Feeding the remainder completes the original frame exactly.
+        decoder.extend(&bytes[cut..]);
+        prop_assert_eq!(decoder.next_frame().expect("completed"), Some(frame));
+    }
+
+    /// Arbitrary garbage bytes never panic the decoder: every outcome is
+    /// a decoded frame, a clean "need more bytes", or an error.
+    #[test]
+    fn garbage_bytes_never_panic_the_decoder(
+        garbage in collection::vec(0u8..=255u8, 0..400),
+    ) {
+        let mut decoder = FrameDecoder::new();
+        decoder.extend(&garbage);
+        loop {
+            match decoder.next_frame() {
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(
+                    WireError::Oversized(_)
+                    | WireError::BadOpcode(_)
+                    | WireError::Corrupt(_)
+                    | WireError::Io(_),
+                ) => break,
+            }
+        }
+    }
+
+    /// A length prefix beyond the frame bound is rejected before the
+    /// body arrives (no multi-megabyte allocation on hostile input).
+    #[test]
+    fn oversized_prefixes_are_rejected_immediately(
+        len in (spade_net::MAX_FRAME_BYTES as u32 + 1)..u32::MAX,
+    ) {
+        let mut decoder = FrameDecoder::new();
+        decoder.extend(&len.to_le_bytes());
+        prop_assert!(matches!(decoder.next_frame(), Err(WireError::Oversized(_))));
+    }
+}

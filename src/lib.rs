@@ -11,7 +11,9 @@
 //! * [`core`] — the Spade engine (peeling, incremental reordering, batch
 //!   updates, edge grouping, extensions);
 //! * [`gen`] — workload generators and dataset surrogates;
-//! * [`metrics`] — latency / prevention-ratio measurement.
+//! * [`metrics`] — latency / prevention-ratio measurement;
+//! * [`net`] — the framed TCP ingest front end (wire protocol, server,
+//!   client) feeding the sharded runtime over sockets.
 //!
 //! ## Example
 //!
@@ -67,6 +69,7 @@ pub use spade_core as core;
 pub use spade_gen as gen;
 pub use spade_graph as graph;
 pub use spade_metrics as metrics;
+pub use spade_net as net;
 
 /// The sharded parallel detection runtime, re-exported at the top level:
 /// [`shard::ShardedSpadeService`] partitions the transaction stream

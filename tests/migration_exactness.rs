@@ -15,6 +15,7 @@
 //! generic test failure.
 
 use proptest::prelude::*;
+use spade::core::shard::migrate::MigrationTrigger;
 use spade::core::{SpadeEngine, WeightedDensity};
 use spade::graph::VertexId;
 use spade::shard::{MigrationPolicy, ShardedConfig, ShardedSpadeService};
@@ -176,6 +177,87 @@ fn load_triggered_migration_preserves_exactness() {
     let _ = service.rebalance();
     let _ = service.rebalance(); // a second pass must stay stable
     let global = service.shutdown();
+    let mut got: Vec<u32> = global.best.members.iter().map(|m| m.0).collect();
+    got.sort_unstable();
+    assert_eq!(got, want_members);
+    assert_eq!(global.best.size, want_size);
+    assert!((global.best.density - want_density).abs() < 1e-9);
+}
+
+#[test]
+fn load_move_targets_the_coldest_shard_by_window_with_a_size_tie_break() {
+    // Pure load-trigger workload (no merges, so no strand repairs run
+    // first): one dominant ring hammers its home shard while several
+    // small disjoint components spread residual state unevenly across
+    // the others. The scheduler must shed the ring onto the shard that
+    // is coldest by *windowed* load, breaking ties toward the fewest
+    // resident edges — verified against the key recomputed from the
+    // stats observed right before the pass.
+    let mut edges: Vec<(VertexId, VertexId, f64)> = Vec::new();
+    // Light disjoint paths of different lengths: every shard ends up
+    // with a different resident edge count.
+    for p in 0..9u32 {
+        let base = 3_000 + p * 20;
+        for i in 0..(2 + p % 5) {
+            edges.push((v(base + i), v(base + i + 1), 1.0));
+        }
+    }
+    // The dominant ring: ~8x the traffic of everything else combined.
+    for a in 10..17u32 {
+        for b in 10..17u32 {
+            if a != b {
+                for _ in 0..6 {
+                    edges.push((v(a), v(b), 10.0));
+                }
+            }
+        }
+    }
+    let (want_size, want_density, want_members) = solo_detection(&edges);
+
+    let service = ShardedSpadeService::spawn(
+        WeightedDensity,
+        ShardedConfig {
+            migration: MigrationPolicy { imbalance_ratio: 1.3, min_updates: 32, max_load_moves: 1 },
+            queue_capacity: 4096,
+            ..ShardedConfig::with_shards(4)
+        },
+    );
+    for &(a, b, w) in &edges {
+        assert!(service.submit(a, b, w));
+    }
+    drain(&service, edges.len() as u64);
+
+    // Snapshot the exact signal the scheduler will read. No load pass
+    // has run yet, so the window equals the raw counters.
+    let before = service.stats();
+    let report = service.rebalance_if_needed().expect("the skew must trigger a pass");
+    let mv = report
+        .moves
+        .iter()
+        .find(|m| m.trigger == MigrationTrigger::LoadBalance)
+        .expect("a load move must run");
+
+    // The source is the hottest shard, and the target is the argmin of
+    // (windowed load, resident edges, index) among the others — the
+    // size-aware choice pick_load_move promises.
+    let hottest =
+        before.iter().max_by_key(|s| s.service.updates_applied).map(|s| s.shard).expect("stats");
+    assert_eq!(mv.from, hottest, "the load move must shed the hottest shard");
+    let expected_target = before
+        .iter()
+        .filter(|s| s.shard != mv.from)
+        .min_by_key(|s| (s.service.updates_applied, s.service.edges_resident, s.shard))
+        .map(|s| s.shard)
+        .expect("stats");
+    assert_eq!(
+        mv.to, expected_target,
+        "the target must be coldest-by-window with the resident-size tie-break \
+         (stats before the pass: {before:?})"
+    );
+
+    // Exactness survives the move.
+    let global = service.shutdown();
+    assert_eq!(global.total_updates, edges.len() as u64);
     let mut got: Vec<u32> = global.best.members.iter().map(|m| m.0).collect();
     got.sort_unstable();
     assert_eq!(got, want_members);
