@@ -13,6 +13,16 @@ the gate flakes without a code change, regenerate the baseline on the new
 runner class (`cargo run --release -p spade-bench --bin bench_ingest`)
 and commit it alongside a note in EXPERIMENTS.md.
 
+Tolerance notes: the runtime metrics registry (per-stage latency
+histograms on every applied edge) is always on and is included in the
+committed baseline, so the gate also bounds instrumentation cost — the
+hot path does two `Instant` reads and a handful of relaxed atomic
+increments per drained batch, no allocation, measured under 5% on the
+bursty path at the coalesce caps that matter (>=64). Samples also carry
+`queue_wait_*_ns` / `publish_*_ns` stage quantiles; those are
+informational (EXPERIMENTS.md) and never gate, since queue-wait scales
+with backlog depth rather than code quality.
+
 Usage:
     ci/check_ingest_regression.py BASELINE.json FRESH.json [--max-drop 0.20]
 """

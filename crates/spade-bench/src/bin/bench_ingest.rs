@@ -20,11 +20,12 @@
 //! `cargo run -p spade-bench --release --bin bench_ingest [-- --smoke]`
 
 use spade_core::metric::WeightedDensity;
+use spade_core::service::metric_names;
 use spade_core::stream::StreamEdge;
 use spade_core::{IngestConfig, ServiceStats, SpadeEngine, SpadeService};
 use spade_gen::fraud::{FraudInjector, FraudInjectorConfig};
 use spade_gen::transactions::{TransactionStream, TransactionStreamConfig};
-use spade_metrics::Table;
+use spade_metrics::{MetricsSnapshot, Table};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -35,12 +36,26 @@ struct Sample {
     edges: usize,
     elapsed_us: f64,
     stats: ServiceStats,
+    /// Registry snapshot taken right before shutdown, so the per-stage
+    /// latency histograms (queue wait / reorder / publish) ride along.
+    metrics: MetricsSnapshot,
 }
 
 impl Sample {
     fn throughput_eps(&self) -> f64 {
         self.edges as f64 / (self.elapsed_us / 1e6).max(1e-9)
     }
+
+    /// Quantile of a per-stage histogram in nanoseconds (0 if the stage
+    /// never recorded, e.g. reorder with grouping disabled).
+    fn stage_q(&self, name: &str, q: f64) -> u64 {
+        self.metrics.histograms.get(name).map_or(0, |h| h.quantile(q))
+    }
+}
+
+/// Nanoseconds rendered as microseconds for the latency table.
+fn us(ns: u64) -> String {
+    format!("{:.1}", ns as f64 / 1e3)
 }
 
 /// Benign-heavy Zipf marketplace traffic plus injected dense rings, so
@@ -104,9 +119,10 @@ fn run_bursty(edges: &[StreamEdge], coalesce: usize) -> Sample {
     }
     let stats = drain_to(&service, edges.len() as u64);
     let elapsed_us = started.elapsed().as_secs_f64() * 1e6;
+    let metrics = service.metrics();
     let final_det = service.shutdown();
     assert_eq!(final_det.updates_applied, edges.len() as u64);
-    Sample { scenario: "bursty", coalesce, edges: edges.len(), elapsed_us, stats }
+    Sample { scenario: "bursty", coalesce, edges: edges.len(), elapsed_us, stats, metrics }
 }
 
 /// Steady drip: one edge in flight at a time — no coalescing possible.
@@ -119,8 +135,9 @@ fn run_drip(edges: &[StreamEdge], coalesce: usize) -> Sample {
     }
     let stats = service.stats();
     let elapsed_us = started.elapsed().as_secs_f64() * 1e6;
+    let metrics = service.metrics();
     service.shutdown();
-    Sample { scenario: "drip", coalesce, edges: edges.len(), elapsed_us, stats }
+    Sample { scenario: "drip", coalesce, edges: edges.len(), elapsed_us, stats, metrics }
 }
 
 fn write_json(path: &str, edges: usize, samples: &[Sample]) -> std::io::Result<()> {
@@ -135,7 +152,9 @@ fn write_json(path: &str, edges: usize, samples: &[Sample]) -> std::io::Result<(
             out,
             "    {{\"scenario\": \"{}\", \"coalesce\": {}, \"edges\": {}, \
              \"elapsed_us\": {:.1}, \"throughput_eps\": {:.1}, \"publishes\": {}, \
-             \"skipped_unchanged\": {}, \"rejected\": {}, \"flushes\": {}}}{comma}",
+             \"skipped_unchanged\": {}, \"rejected\": {}, \"flushes\": {}, \
+             \"queue_wait_p50_ns\": {}, \"queue_wait_p99_ns\": {}, \
+             \"publish_p50_ns\": {}, \"publish_p99_ns\": {}}}{comma}",
             s.scenario,
             s.coalesce,
             s.edges,
@@ -145,6 +164,10 @@ fn write_json(path: &str, edges: usize, samples: &[Sample]) -> std::io::Result<(
             s.stats.skipped_unchanged,
             s.stats.rejected,
             s.stats.flushes,
+            s.stage_q(metric_names::STAGE_QUEUE_WAIT_NS, 0.50),
+            s.stage_q(metric_names::STAGE_QUEUE_WAIT_NS, 0.99),
+            s.stage_q(metric_names::STAGE_PUBLISH_NS, 0.50),
+            s.stage_q(metric_names::STAGE_PUBLISH_NS, 0.99),
         );
     }
     let _ = writeln!(out, "  ]");
@@ -192,6 +215,36 @@ fn main() {
         ]);
     }
     table.print();
+
+    // Per-stage latency from the always-on registry instrumentation:
+    // queue wait (time an edge sat in the bounded queue) versus the
+    // processing stages (reorder + publish). Under bursty replay the
+    // queue wait dominates by orders of magnitude — the paper's §5.2
+    // observation that batch-mode latency is almost entirely queueing.
+    println!("\nper-stage latency (us, from the runtime metrics registry):");
+    let mut stages = Table::new([
+        "scenario",
+        "coalesce",
+        "q-wait p50",
+        "q-wait p99",
+        "reorder p99",
+        "publish p50",
+        "publish p99",
+        "batch p99",
+    ]);
+    for s in &samples {
+        stages.row([
+            s.scenario.to_string(),
+            s.coalesce.to_string(),
+            us(s.stage_q(metric_names::STAGE_QUEUE_WAIT_NS, 0.50)),
+            us(s.stage_q(metric_names::STAGE_QUEUE_WAIT_NS, 0.99)),
+            us(s.stage_q(metric_names::STAGE_REORDER_NS, 0.99)),
+            us(s.stage_q(metric_names::STAGE_PUBLISH_NS, 0.50)),
+            us(s.stage_q(metric_names::STAGE_PUBLISH_NS, 0.99)),
+            s.stage_q(metric_names::COALESCE_BATCH_SIZE, 0.99).to_string(),
+        ]);
+    }
+    stages.print();
 
     let per_edge = samples.iter().find(|s| s.scenario == "bursty" && s.coalesce == 1);
     let coalesced = samples.iter().find(|s| s.scenario == "bursty" && s.coalesce == 256);

@@ -10,10 +10,10 @@ use spade_gen::datasets::DatasetSpec;
 use spade_graph::io::{read_edge_list, EdgeRecord};
 use spade_graph::VertexId;
 use spade_metrics::Table;
-use spade_net::{ClientConfig, NetStats, SpadeNetClient, SpadeNetServer};
+use spade_net::{ClientConfig, MetricsHttpServer, NetStats, SpadeNetClient, SpadeNetServer};
 use std::error::Error;
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 type AnyError = Box<dyn Error>;
 
@@ -87,9 +87,11 @@ USAGE:
                  [--queue N] [--coalesce N]
                  [--partition hash|connectivity|conn:<max_component>]
                  [--top N] [--repair] [--repair-hops K] [--rebalance]
-  spade serve    --listen <addr> [--shards N] [--metric dg|dw|fd] [...]
+  spade serve    --listen <addr> [--shards N] [--metric dg|dw|fd]
+                 [--metrics <addr>] [...]
   spade ingest   <addr> <edges.txt> [--batch N] [--pipeline N]
                  [--detect] [--stats] [--shutdown]
+  spade watch    <addr> [--interval ms] [--count N]
   spade gen      [--dataset Grab1] [--scale 0.01] [--seed 42] [--out FILE]
   spade snapshot <edges.txt> --out FILE [--metric dg|dw|fd]
   spade resume   <FILE> [--metric dg|dw|fd] [--top N]
@@ -126,6 +128,16 @@ is the matching producer: it replays an edge list with `--batch`-sized
 pipelined frames (`--pipeline` in flight), retries Busy suffixes, and
 with `--detect`/`--stats` reads the live detection and server counters
 back; `--shutdown` stops the server when the replay ends.
+
+`serve --listen ... --metrics <addr>` additionally serves the live
+Prometheus text exposition on <addr> (scrape http://<addr>/metrics):
+per-stage latency histograms (queue wait, reorder/peel, publish),
+runtime totals, repair/migration counters, and transport counters with
+per-connection series. `spade watch <addr>` polls a serving runtime over
+the wire and prints a refreshing table of updates, per-shard queue
+depths (back-pressure before Busy fires), and stage latencies; each poll
+flushes, so watch a live workload rather than an idle server for
+representative numbers.
 
 Edge lists are whitespace-separated `src dst [raw] [timestamp]` lines."
     );
@@ -224,6 +236,7 @@ fn print_sharded_report(
     let mut table = Table::new([
         "shard",
         "updates",
+        "queued",
         "rejected",
         "flushes",
         "publishes",
@@ -246,6 +259,7 @@ fn print_sharded_report(
         table.row([
             s.shard.to_string(),
             s.service.updates_applied.to_string(),
+            s.service.queue_depth.to_string(),
             s.service.rejected.to_string(),
             s.service.flushes.to_string(),
             s.service.publishes.to_string(),
@@ -361,6 +375,23 @@ fn serve_listen(args: &Args, shards: usize, addr: &str) -> Result<(), AnyError> 
         server.local_addr(),
         shards,
     );
+    // `--metrics <addr>` serves the live Prometheus exposition over
+    // HTTP: the runtime's merged registry snapshot plus the transport
+    // counters — the identical rendering a wire `Metrics` request gets.
+    let metrics_addr = args.str_opt("metrics", "");
+    let exporter = if metrics_addr.is_empty() {
+        None
+    } else {
+        let runtime = Arc::clone(&service);
+        let net = server.metrics_provider();
+        let exporter = MetricsHttpServer::bind(
+            metrics_addr.as_str(),
+            Arc::new(move || runtime.metrics().merge(&net()).render_prometheus()),
+        )
+        .map_err(|e| format!("cannot serve metrics on {metrics_addr}: {e}"))?;
+        println!("metrics exposition on http://{}/metrics", exporter.local_addr());
+        Some(exporter)
+    };
     let started = Instant::now();
     while !server.is_stopped() {
         std::thread::sleep(std::time::Duration::from_millis(50));
@@ -399,6 +430,11 @@ fn serve_listen(args: &Args, shards: usize, addr: &str) -> Result<(), AnyError> 
         rebalanced.as_ref(),
         Some(&net),
     );
+    // The exporter's render closure holds the runtime Arc — stop it
+    // before unwrapping.
+    if let Some(exporter) = exporter {
+        exporter.shutdown();
+    }
     let service =
         Arc::try_unwrap(service).map_err(|_| "a server thread still holds the runtime")?;
     service.shutdown();
@@ -446,12 +482,16 @@ pub fn ingest(args: &Args) -> Result<(), AnyError> {
     }
     if args.flag("stats") {
         let s = client.server_stats()?;
+        let depths: Vec<String> = s.shard_queue_depths.iter().map(u64::to_string).collect();
         println!(
-            "server: {} shards, {} updates applied, {} queued; net: {} connection(s), \
-             {} frame(s), {} edges acked, {} busy repl(ies), {} malformed frame(s)",
+            "server: {} shards, {} updates applied, {} queued ({}), up {:.1}s; net: \
+             {} connection(s), {} frame(s), {} edges acked, {} busy repl(ies), \
+             {} malformed frame(s)",
             s.shards,
             s.updates_applied,
             s.queue_depth,
+            depths.join("/"),
+            s.uptime_secs,
             s.connections,
             s.frames,
             s.edges_accepted,
@@ -462,6 +502,78 @@ pub fn ingest(args: &Args) -> Result<(), AnyError> {
     if args.flag("shutdown") {
         client.shutdown_server()?;
         println!("server shutdown requested");
+    }
+    Ok(())
+}
+
+/// One sample value out of a Prometheus text exposition: the line whose
+/// full series name (labels included) equals `series`.
+fn exposition_sample(text: &str, series: &str) -> Option<f64> {
+    text.lines().find_map(|line| {
+        let (name, value) = line.rsplit_once(' ')?;
+        if name == series {
+            value.parse().ok()
+        } else {
+            None
+        }
+    })
+}
+
+/// Formats a nanosecond latency sample for the watch table.
+fn fmt_latency_us(ns: Option<f64>) -> String {
+    match ns {
+        Some(v) => format!("{:.0}", v / 1e3),
+        None => "-".to_string(),
+    }
+}
+
+/// `spade watch <addr>`: poll a serving runtime over the wire and print
+/// a refreshing stats + per-stage-latency table — the operator's live
+/// view of back-pressure (per-shard queue depths) building before Busy
+/// replies fire.
+pub fn watch(args: &Args) -> Result<(), AnyError> {
+    let addr = args.pos(0).ok_or("watch needs a server address")?;
+    let interval = Duration::from_millis(args.num_opt("interval", 1000u64)?.max(10));
+    let count = args.num_opt("count", 0u64)?; // 0 = poll until the server goes away
+    let mut client =
+        SpadeNetClient::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let headers = [
+        "tick",
+        "uptime s",
+        "updates",
+        "queued",
+        "per-shard",
+        "busy",
+        "q-wait p50/p99 us",
+        "publish p50/p99 us",
+    ];
+    let mut tick = 0u64;
+    loop {
+        tick += 1;
+        let s = client.server_stats()?;
+        let m = client.server_metrics()?;
+        let depths: Vec<String> = s.shard_queue_depths.iter().map(u64::to_string).collect();
+        let quantiles = |name: &str| {
+            let p50 = exposition_sample(&m.exposition, &format!("{name}{{quantile=\"0.5\"}}"));
+            let p99 = exposition_sample(&m.exposition, &format!("{name}{{quantile=\"0.99\"}}"));
+            format!("{}/{}", fmt_latency_us(p50), fmt_latency_us(p99))
+        };
+        let mut table = Table::new(headers);
+        table.row([
+            tick.to_string(),
+            format!("{:.1}", s.uptime_secs),
+            s.updates_applied.to_string(),
+            s.queue_depth.to_string(),
+            depths.join("/"),
+            s.busy_replies.to_string(),
+            quantiles("spade_stage_queue_wait_ns"),
+            quantiles("spade_stage_publish_ns"),
+        ]);
+        table.print();
+        if count != 0 && tick >= count {
+            break;
+        }
+        std::thread::sleep(interval);
     }
     Ok(())
 }
@@ -863,6 +975,75 @@ mod tests {
     }
 
     #[test]
+    fn serve_metrics_exporter_and_watch_over_loopback() {
+        use std::io::{Read as _, Write as _};
+
+        let dir = temp_dir();
+        let path = write_sample_edges(&dir);
+        let (port, mport) = {
+            let a = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            let b = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            (a.local_addr().unwrap().port(), b.local_addr().unwrap().port())
+        };
+        let addr = format!("127.0.0.1:{port}");
+        let maddr = format!("127.0.0.1:{mport}");
+        let server = {
+            let listen = addr.clone();
+            let metrics = maddr.clone();
+            std::thread::spawn(move || {
+                serve(&args(&format!("serve --listen {listen} --shards 2 --metrics {metrics}")))
+                    .map_err(|e| e.to_string())
+            })
+        };
+        // Feed edges (retry until the listener is up), keeping the
+        // server alive for the scrape + watch below.
+        let mut attempts = 0;
+        loop {
+            match ingest(&args(&format!("ingest {addr} {path} --batch 4 --stats"))) {
+                Ok(()) => break,
+                Err(_) if attempts < 100 => {
+                    attempts += 1;
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                }
+                Err(e) => panic!("ingest never reached the server: {e}"),
+            }
+        }
+
+        // Scrape the HTTP exposition and check the per-stage histograms
+        // and transport counters came through.
+        let mut stream = std::net::TcpStream::connect(&maddr).expect("scrape connect");
+        stream.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("scrape read");
+        assert!(response.starts_with("HTTP/1.0 200 OK\r\n"), "got: {response}");
+        for series in [
+            "spade_stage_queue_wait_ns_count",
+            "spade_stage_publish_ns_count",
+            "spade_updates_total",
+            "spade_net_edges_accepted_total",
+        ] {
+            assert!(response.contains(series), "missing {series} in:\n{response}");
+        }
+
+        // One watch tick renders the live table without error.
+        watch(&args(&format!("watch {addr} --interval 10 --count 1"))).unwrap();
+
+        ingest(&args(&format!("ingest {addr} {path} --batch 4 --shutdown"))).unwrap();
+        server.join().unwrap().unwrap();
+    }
+
+    #[test]
+    fn exposition_sample_parses_labeled_series() {
+        let text = "# TYPE x summary\nx{quantile=\"0.5\"} 1200\nx_count 3\ny 7\n";
+        assert_eq!(exposition_sample(text, "x{quantile=\"0.5\"}"), Some(1200.0));
+        assert_eq!(exposition_sample(text, "x_count"), Some(3.0));
+        assert_eq!(exposition_sample(text, "y"), Some(7.0));
+        assert_eq!(exposition_sample(text, "missing"), None);
+        assert_eq!(fmt_latency_us(Some(2500.0)), "2");
+        assert_eq!(fmt_latency_us(None), "-");
+    }
+
+    #[test]
     fn helpful_errors() {
         assert!(detect(&args("detect")).is_err());
         assert!(detect(&args("detect /nonexistent/file")).is_err());
@@ -873,6 +1054,8 @@ mod tests {
         assert!(serve(&args("serve missing.txt --partitioner bogus")).is_err());
         assert!(ingest(&args("ingest")).is_err());
         assert!(ingest(&args("ingest 127.0.0.1:1 missing.txt")).is_err());
+        assert!(watch(&args("watch")).is_err());
+        assert!(watch(&args("watch 127.0.0.1:1 --count 1")).is_err());
         assert!(serve(&args("serve --listen 256.256.256.256:0")).is_err());
     }
 }

@@ -5,9 +5,10 @@
 //! spade stream <edges.txt> [--metric ...] [--initial 0.9] [--batch N | --grouping]
 //! spade serve  <edges.txt> [--shards N] [--metric ...] [--grouping]
 //!              [--queue N] [--coalesce N] [--partitioner hash|connectivity]
-//! spade serve  --listen <addr> [--shards N] [--metric ...]
+//! spade serve  --listen <addr> [--shards N] [--metric ...] [--metrics <addr>]
 //! spade ingest <addr> <edges.txt> [--batch N] [--pipeline N]
 //!              [--detect] [--stats] [--shutdown]
+//! spade watch  <addr> [--interval ms] [--count N]
 //! spade gen    [--dataset Grab1] [--scale 0.01] [--seed N] [--out FILE]
 //! spade snapshot <edges.txt> --out <file.spade> [--metric ...]
 //! spade resume  <file.spade> [--metric ...] [--top N]
@@ -37,6 +38,7 @@ fn main() -> ExitCode {
         "stream" => commands::stream(&args),
         "serve" => commands::serve(&args),
         "ingest" => commands::ingest(&args),
+        "watch" => commands::watch(&args),
         "gen" => commands::generate(&args),
         "snapshot" => commands::snapshot(&args),
         "resume" => commands::resume(&args),

@@ -45,10 +45,47 @@ use crate::state::Detection;
 use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use parking_lot::RwLock;
 use spade_graph::VertexId;
+use spade_metrics::runtime::{
+    Counter, EventKind, Gauge, Histogram, MetricsRegistry, MetricsSnapshot,
+};
 use std::any::Any;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Registry names of the per-stage metrics one worker records. Public
+/// so front ends (sharded runtime, benches, the CLI) can look up the
+/// same series without stringly re-deriving them.
+pub mod metric_names {
+    /// Histogram: submit → drain wait per ingest command, nanoseconds.
+    /// Its count equals `updates_applied` at quiesce — every insert is
+    /// timed exactly once.
+    pub const STAGE_QUEUE_WAIT_NS: &str = "spade_stage_queue_wait_ns";
+    /// Histogram: reorder/peel time per applied batch (or per urgent
+    /// grouped flush), nanoseconds.
+    pub const STAGE_REORDER_NS: &str = "spade_stage_reorder_ns";
+    /// Histogram: publish-attempt latency (detect + snapshot swap),
+    /// nanoseconds.
+    pub const STAGE_PUBLISH_NS: &str = "spade_stage_publish_ns";
+    /// Histogram: inserts applied per coalesced batch.
+    pub const COALESCE_BATCH_SIZE: &str = "spade_coalesce_batch_size";
+    /// Counter: edge-grouping flushes performed.
+    pub const FLUSHES_TOTAL: &str = "spade_flushes_total";
+    /// Counter: snapshot publications that swapped the snapshot.
+    pub const PUBLISHES_TOTAL: &str = "spade_publishes_total";
+    /// Counter: publish attempts skipped (detection unchanged).
+    pub const PUBLISHES_SKIPPED_TOTAL: &str = "spade_publishes_skipped_total";
+    /// Counter: malformed transactions dropped by the worker.
+    pub const REJECTED_TOTAL: &str = "spade_rejected_total";
+    /// Counter: ingest commands processed (mirrors `updates_applied`).
+    pub const UPDATES_TOTAL: &str = "spade_updates_total";
+    /// Gauge: commands waiting in the ingest queue (refreshed on
+    /// snapshot).
+    pub const QUEUE_DEPTH: &str = "spade_queue_depth";
+    /// Gauge: directed edges resident in the worker's graph.
+    pub const EDGES_RESIDENT: &str = "spade_edges_resident";
+}
 
 /// Ingest tuning knobs of a [`SpadeService`] worker.
 #[derive(Clone, Copy, Debug)]
@@ -168,8 +205,10 @@ pub struct AbsorbReceipt {
 
 /// The ingest protocol between a service handle and its worker thread.
 enum Command {
-    /// One transaction.
-    Insert { src: VertexId, dst: VertexId, raw: f64 },
+    /// One transaction, stamped with its ingest time at `submit` /
+    /// frame-decode so the worker can attribute queueing latency
+    /// (Eq. 4's dominant term per §5.2) to the wait itself.
+    Insert { src: VertexId, dst: VertexId, raw: f64, queued: Instant },
     /// Apply any buffered benign edges now.
     Flush,
     /// Export the current detection plus a `hops`-hop frontier subgraph.
@@ -184,20 +223,60 @@ enum Command {
     Shutdown,
 }
 
-/// Counters a worker thread exports while running (all monotonic).
-#[derive(Debug, Default)]
-struct WorkerTelemetry {
+/// Pre-resolved registry handles the worker records into. Resolved once
+/// at spawn (registration takes a lock), so the per-edge path is pure
+/// relaxed atomic bumps — the registry itself is never touched while
+/// streaming. Replaces the old ad-hoc `WorkerTelemetry` counter struct:
+/// the same monotone counters now live in the registry, and
+/// [`ServiceStats`] reads them back as a snapshot.
+#[derive(Debug)]
+struct WorkerMetrics {
+    registry: Arc<MetricsRegistry>,
     /// Edge-grouping flushes applied (urgent, capacity, manual and the
-    /// final drain).
-    pub flushes: AtomicU64,
+    /// final drain). Mirrored from the grouper's own counter.
+    flushes: Arc<Counter>,
     /// Snapshot publications that actually swapped the snapshot.
-    pub publishes: AtomicU64,
+    publishes: Arc<Counter>,
     /// Publish attempts skipped because the detection had not changed
     /// since the last swap (the coalescing win, made observable).
-    pub skipped_unchanged: AtomicU64,
+    skipped_unchanged: Arc<Counter>,
     /// Malformed transactions dropped by the worker (self-loops,
     /// non-finite or negative suspiciousness).
-    pub rejected: AtomicU64,
+    rejected: Arc<Counter>,
+    /// Ingest commands processed (mirrors `updates_applied`).
+    updates: Arc<Counter>,
+    /// Submit → drain wait per ingest command (ns).
+    queue_wait_ns: Arc<Histogram>,
+    /// Reorder/peel time per applied batch or urgent flush (ns).
+    reorder_ns: Arc<Histogram>,
+    /// Publish-attempt latency (ns).
+    publish_ns: Arc<Histogram>,
+    /// Inserts applied per coalesced batch.
+    batch_size: Arc<Histogram>,
+    /// Live ingest-queue depth (refreshed when a snapshot is taken).
+    queue_depth: Arc<Gauge>,
+    /// Directed edges resident in the worker's graph.
+    edges_resident: Arc<Gauge>,
+}
+
+impl WorkerMetrics {
+    fn new(registry: Arc<MetricsRegistry>) -> WorkerMetrics {
+        use metric_names as n;
+        WorkerMetrics {
+            flushes: registry.counter(n::FLUSHES_TOTAL),
+            publishes: registry.counter(n::PUBLISHES_TOTAL),
+            skipped_unchanged: registry.counter(n::PUBLISHES_SKIPPED_TOTAL),
+            rejected: registry.counter(n::REJECTED_TOTAL),
+            updates: registry.counter(n::UPDATES_TOTAL),
+            queue_wait_ns: registry.histogram(n::STAGE_QUEUE_WAIT_NS),
+            reorder_ns: registry.histogram(n::STAGE_REORDER_NS),
+            publish_ns: registry.histogram(n::STAGE_PUBLISH_NS),
+            batch_size: registry.histogram(n::COALESCE_BATCH_SIZE),
+            queue_depth: registry.gauge(n::QUEUE_DEPTH),
+            edges_resident: registry.gauge(n::EDGES_RESIDENT),
+            registry,
+        }
+    }
 }
 
 /// The snapshot cell shared between the worker and all reader handles.
@@ -244,6 +323,9 @@ pub struct ServiceStats {
     pub detection_size: usize,
     /// Density of the last published detection.
     pub detection_density: f64,
+    /// Seconds since the service was spawned — lets a watch table turn
+    /// monotone counters into rates without keeping its own clock.
+    pub uptime_secs: f64,
 }
 
 /// Outcome of a non-blocking submit attempt. Public because transport
@@ -264,7 +346,7 @@ pub enum TrySubmit {
 pub struct SpadeService {
     sender: Sender<Command>,
     shared: Arc<SharedDetection>,
-    telemetry: Arc<WorkerTelemetry>,
+    metrics: Arc<WorkerMetrics>,
     /// The worker hands its engine back through here on exit, so callers
     /// can recover it (snapshotting, equivalence tests) after a drain.
     engine_back: Receiver<Box<dyn Any + Send>>,
@@ -311,9 +393,9 @@ impl SpadeService {
         let (sender, receiver) = bounded(ingest.queue_capacity.max(1));
         let (engine_tx, engine_back) = bounded(1);
         let shared = Arc::new(SharedDetection::default());
-        let telemetry = Arc::new(WorkerTelemetry::default());
+        let metrics = Arc::new(WorkerMetrics::new(Arc::new(MetricsRegistry::new())));
         let worker_shared = Arc::clone(&shared);
-        let worker_telemetry = Arc::clone(&telemetry);
+        let worker_metrics = Arc::clone(&metrics);
         let worker = std::thread::Builder::new()
             .name(thread_name)
             .spawn(move || {
@@ -323,18 +405,20 @@ impl SpadeService {
                     ingest,
                     receiver,
                     worker_shared,
-                    worker_telemetry,
+                    worker_metrics,
                     engine_tx,
                 )
             })
             .expect("failed to spawn detector thread");
-        SpadeService { sender, shared, telemetry, engine_back, worker: Some(worker) }
+        SpadeService { sender, shared, metrics, engine_back, worker: Some(worker) }
     }
 
     /// Enqueues one transaction; blocks when the ingest queue is full
     /// (back-pressure). Returns `false` if the service has shut down.
+    /// The command is stamped with its ingest time here, so the worker
+    /// can report submit → drain queueing latency.
     pub fn submit(&self, src: VertexId, dst: VertexId, raw: f64) -> bool {
-        self.sender.send(Command::Insert { src, dst, raw }).is_ok()
+        self.sender.send(Command::Insert { src, dst, raw, queued: Instant::now() }).is_ok()
     }
 
     /// Non-blocking [`submit`](Self::submit): enqueues only if the queue
@@ -342,7 +426,7 @@ impl SpadeService {
     /// lock is never held across a back-pressure wait; network front ends
     /// use it to answer Busy instead of stalling a connection handler.
     pub fn try_submit(&self, src: VertexId, dst: VertexId, raw: f64) -> TrySubmit {
-        match self.sender.try_send(Command::Insert { src, dst, raw }) {
+        match self.sender.try_send(Command::Insert { src, dst, raw, queued: Instant::now() }) {
             Ok(()) => TrySubmit::Queued,
             Err(TrySendError::Full(_)) => TrySubmit::Full,
             Err(TrySendError::Disconnected(_)) => TrySubmit::Closed,
@@ -420,20 +504,36 @@ impl SpadeService {
         det
     }
 
-    /// Current ingest/processing counters (no member-list clone).
+    /// Current ingest/processing counters (no member-list clone). A
+    /// view over the same registry handles the worker records into —
+    /// `ServiceStats` is the registry snapshot in struct form.
     pub fn stats(&self) -> ServiceStats {
         let det = self.shared.detection.read();
         ServiceStats {
             queue_depth: self.sender.len(),
             updates_applied: self.shared.updates_applied.load(Ordering::Acquire),
-            flushes: self.telemetry.flushes.load(Ordering::Relaxed),
-            publishes: self.telemetry.publishes.load(Ordering::Relaxed),
-            skipped_unchanged: self.telemetry.skipped_unchanged.load(Ordering::Relaxed),
-            rejected: self.telemetry.rejected.load(Ordering::Relaxed),
+            flushes: self.metrics.flushes.get(),
+            publishes: self.metrics.publishes.get(),
+            skipped_unchanged: self.metrics.skipped_unchanged.get(),
+            rejected: self.metrics.rejected.get(),
             edges_resident: self.shared.edges_resident.load(Ordering::Acquire),
             detection_size: det.size,
             detection_density: det.density,
+            uptime_secs: self.metrics.registry.uptime().as_secs_f64(),
         }
+    }
+
+    /// A point-in-time copy of this worker's full metrics registry:
+    /// per-stage latency histograms (queue wait, reorder/peel, publish),
+    /// the monotone counters behind [`stats`](Self::stats), and the
+    /// recent event trace. The live queue-depth and resident-edge gauges
+    /// are refreshed as part of taking the snapshot. Snapshots merge —
+    /// see [`spade_metrics::MetricsSnapshot::merge`] — which is how the
+    /// sharded runtime builds its global view.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.metrics.queue_depth.set(self.sender.len() as u64);
+        self.metrics.edges_resident.set(self.shared.edges_resident.load(Ordering::Acquire));
+        self.metrics.registry.snapshot()
     }
 
     /// Signals shutdown, waits for the worker to drain the queue, and
@@ -487,7 +587,7 @@ fn worker_loop<M: DensityMetric + Send + 'static>(
     ingest: IngestConfig,
     receiver: Receiver<Command>,
     shared: Arc<SharedDetection>,
-    telemetry: Arc<WorkerTelemetry>,
+    metrics: Arc<WorkerMetrics>,
     engine_tx: Sender<Box<dyn Any + Send>>,
 ) {
     let mut grouper = grouping.map(EdgeGrouper::new);
@@ -495,7 +595,7 @@ fn worker_loop<M: DensityMetric + Send + 'static>(
     let mut batch: Vec<(VertexId, VertexId, f64)> = Vec::with_capacity(coalesce.min(4096));
     let mut publisher = Publisher::default();
     let mut updates: u64 = 0;
-    publisher.publish(&mut engine, &shared, updates, &telemetry);
+    publisher.publish(&mut engine, &shared, updates, &metrics);
     let mut shutdown = false;
     while !shutdown {
         let Ok(first) = receiver.recv() else { break };
@@ -512,19 +612,31 @@ fn worker_loop<M: DensityMetric + Send + 'static>(
         let mut run_len = 0usize;
         loop {
             match cmd {
-                Command::Insert { src, dst, raw } => {
+                Command::Insert { src, dst, raw, queued } => {
                     run_len += 1;
+                    // One clock read per drained insert covers both the
+                    // queue-wait sample (submit → here) and, on the
+                    // grouped path, the start of processing time.
+                    let drained = Instant::now();
+                    metrics
+                        .queue_wait_ns
+                        .record_duration(drained.saturating_duration_since(queued));
                     match grouper.as_mut() {
                         Some(g) => {
                             updates += 1;
                             match g.submit(&mut engine, src, dst, raw) {
                                 Ok(out) if out.flushed.is_some() => {
-                                    sync_flush_count(&grouper, &telemetry);
-                                    publisher.publish(&mut engine, &shared, updates, &telemetry);
+                                    // An urgent/capacity flush ran a real
+                                    // reorder pass: attribute its cost to
+                                    // the reorder/peel stage.
+                                    metrics.reorder_ns.record_duration(drained.elapsed());
+                                    metrics.registry.event(EventKind::Flush, updates);
+                                    sync_flush_count(&grouper, &metrics);
+                                    publisher.publish(&mut engine, &shared, updates, &metrics);
                                 }
                                 Ok(_) => {}
                                 Err(_) => {
-                                    telemetry.rejected.fetch_add(1, Ordering::Relaxed);
+                                    metrics.rejected.inc();
                                 }
                             }
                         }
@@ -535,9 +647,15 @@ fn worker_loop<M: DensityMetric + Send + 'static>(
                     }
                 }
                 Command::Flush => {
-                    apply_batch(&mut engine, &mut batch, &mut updates, &telemetry);
+                    apply_batch(&mut engine, &mut batch, &mut updates, &metrics);
                     if let Some(g) = grouper.as_mut() {
+                        let before = g.stats().flushes;
+                        let flush_started = Instant::now();
                         let _ = g.flush(&mut engine);
+                        if g.stats().flushes > before {
+                            metrics.reorder_ns.record_duration(flush_started.elapsed());
+                            metrics.registry.event(EventKind::Flush, updates);
+                        }
                     }
                 }
                 Command::Region { hops, reply } => {
@@ -546,7 +664,7 @@ fn worker_loop<M: DensityMetric + Send + 'static>(
                     // benign edges stay buffered — the region must agree
                     // with the published detection, which excludes them
                     // too.
-                    apply_batch(&mut engine, &mut batch, &mut updates, &telemetry);
+                    apply_batch(&mut engine, &mut batch, &mut updates, &metrics);
                     let det = engine.detect();
                     let members: Arc<[VertexId]> = Arc::from(engine.community(det));
                     let snapshot =
@@ -565,11 +683,11 @@ fn worker_loop<M: DensityMetric + Send + 'static>(
                     // buffer (a benign edge of a migrated member left in
                     // the buffer would resurrect on this shard after the
                     // eviction and be stranded for good).
-                    apply_batch(&mut engine, &mut batch, &mut updates, &telemetry);
+                    apply_batch(&mut engine, &mut batch, &mut updates, &metrics);
                     if let Some(g) = grouper.as_mut() {
                         let _ = g.flush(&mut engine);
                     }
-                    sync_flush_count(&grouper, &telemetry);
+                    sync_flush_count(&grouper, &metrics);
                     let mut snapshot =
                         crate::persist::SubgraphSnapshot::extract(engine.graph(), &members, 0);
                     snapshot.prune_isolated();
@@ -582,7 +700,7 @@ fn worker_loop<M: DensityMetric + Send + 'static>(
                     engine
                         .remove_member_slice(&members)
                         .expect("slice eviction cannot fail on a live graph");
-                    publisher.publish(&mut engine, &shared, updates, &telemetry);
+                    publisher.publish(&mut engine, &shared, updates, &metrics);
                     let _ = reply.send(MigrationSlice {
                         vertices: snapshot.vertices.len(),
                         edges: snapshot.edges.len(),
@@ -592,12 +710,12 @@ fn worker_loop<M: DensityMetric + Send + 'static>(
                     });
                 }
                 Command::Absorb { slice, reply } => {
-                    apply_batch(&mut engine, &mut batch, &mut updates, &telemetry);
+                    apply_batch(&mut engine, &mut batch, &mut updates, &metrics);
                     let receipt = absorb_slice(&mut engine, &slice);
                     if receipt.rejected > 0 {
-                        telemetry.rejected.fetch_add(receipt.rejected, Ordering::Relaxed);
+                        metrics.rejected.add(receipt.rejected);
                     }
-                    publisher.publish(&mut engine, &shared, updates, &telemetry);
+                    publisher.publish(&mut engine, &shared, updates, &metrics);
                     let _ = reply.send(receipt);
                 }
                 Command::Shutdown => {
@@ -610,7 +728,7 @@ fn worker_loop<M: DensityMetric + Send + 'static>(
                 Err(_) => break,
             }
         }
-        apply_batch(&mut engine, &mut batch, &mut updates, &telemetry);
+        apply_batch(&mut engine, &mut batch, &mut updates, &metrics);
         if shutdown {
             // Final drain so the last published state reflects every
             // submission that preceded the shutdown marker.
@@ -618,8 +736,8 @@ fn worker_loop<M: DensityMetric + Send + 'static>(
                 let _ = g.flush(&mut engine);
             }
         }
-        sync_flush_count(&grouper, &telemetry);
-        publisher.publish(&mut engine, &shared, updates, &telemetry);
+        sync_flush_count(&grouper, &metrics);
+        publisher.publish(&mut engine, &shared, updates, &metrics);
     }
     // All senders gone without an explicit shutdown marker: drain what
     // the grouper still buffers and publish the final state.
@@ -627,8 +745,8 @@ fn worker_loop<M: DensityMetric + Send + 'static>(
         if let Some(g) = grouper.as_mut() {
             let _ = g.flush(&mut engine);
         }
-        sync_flush_count(&grouper, &telemetry);
-        publisher.publish(&mut engine, &shared, updates, &telemetry);
+        sync_flush_count(&grouper, &metrics);
+        publisher.publish(&mut engine, &shared, updates, &metrics);
     }
     let _ = engine_tx.send(Box::new(engine));
 }
@@ -670,29 +788,33 @@ fn absorb_slice<M: DensityMetric>(
 
 /// Applies the accumulated insert batch of an ungrouped worker as one
 /// §4.2 batch insertion (one reorder pass). Malformed transactions are
-/// counted, never fatal.
+/// counted, never fatal. Records the batch size and the reorder/peel
+/// wall time — the processing half of Eq. 4's latency split.
 fn apply_batch<M: DensityMetric>(
     engine: &mut SpadeEngine<M>,
     batch: &mut Vec<(VertexId, VertexId, f64)>,
     updates: &mut u64,
-    telemetry: &WorkerTelemetry,
+    metrics: &WorkerMetrics,
 ) {
     if batch.is_empty() {
         return;
     }
     *updates += batch.len() as u64;
+    metrics.batch_size.record(batch.len() as u64);
+    let reorder_started = Instant::now();
     let (_, rejected) = engine.insert_batch_tolerant(batch);
+    metrics.reorder_ns.record_duration(reorder_started.elapsed());
     if rejected > 0 {
-        telemetry.rejected.fetch_add(rejected, Ordering::Relaxed);
+        metrics.rejected.add(rejected);
     }
     batch.clear();
 }
 
 /// Mirrors the grouper's own flush counter into the exported telemetry —
 /// the grouper is the single source of truth for what counts as a flush.
-fn sync_flush_count(grouper: &Option<EdgeGrouper>, telemetry: &WorkerTelemetry) {
+fn sync_flush_count(grouper: &Option<EdgeGrouper>, metrics: &WorkerMetrics) {
     if let Some(g) = grouper.as_ref() {
-        telemetry.flushes.store(g.stats().flushes as u64, Ordering::Relaxed);
+        metrics.flushes.store(g.stats().flushes as u64);
     }
 }
 
@@ -721,8 +843,9 @@ impl Publisher {
         engine: &mut SpadeEngine<M>,
         shared: &SharedDetection,
         updates: u64,
-        telemetry: &WorkerTelemetry,
+        metrics: &WorkerMetrics,
     ) {
+        let publish_started = Instant::now();
         // Exactness accounting advances on every attempt, even when the
         // snapshot itself is not swapped. The resident-size store comes
         // first: a reader that observes the new update count is then
@@ -730,10 +853,12 @@ impl Publisher {
         // graph size at least as fresh.
         shared.edges_resident.store(engine.graph().num_edges() as u64, Ordering::Release);
         shared.updates_applied.store(updates, Ordering::Release);
+        metrics.updates.store(updates);
         let det: Detection = engine.detect();
         let windows = engine.total_reorder_stats().windows;
         if self.last_windows == Some(windows) && det == self.last {
-            telemetry.skipped_unchanged.fetch_add(1, Ordering::Relaxed);
+            metrics.skipped_unchanged.inc();
+            metrics.publish_ns.record_duration(publish_started.elapsed());
             return;
         }
         self.last_windows = Some(windows);
@@ -747,7 +872,9 @@ impl Publisher {
             updates_applied: updates,
             epoch: self.epoch,
         };
-        telemetry.publishes.fetch_add(1, Ordering::Relaxed);
+        metrics.publishes.inc();
+        metrics.publish_ns.record_duration(publish_started.elapsed());
+        metrics.registry.event(EventKind::Publish, self.epoch);
     }
 }
 
@@ -1065,6 +1192,46 @@ mod tests {
         );
         let det = source.shutdown();
         assert_eq!(det.size, 0, "everything was evicted");
+    }
+
+    #[test]
+    fn stage_histograms_reconcile_with_updates_applied() {
+        let service = SpadeService::spawn(SpadeEngine::new(WeightedDensity), None, 256);
+        for i in 0..200u32 {
+            assert!(service.submit(v(i % 20), v((i + 1) % 20), 1.0 + (i % 7) as f64));
+        }
+        for _ in 0..2_000 {
+            if service.stats().updates_applied >= 200 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let stats = service.stats();
+        assert_eq!(stats.updates_applied, 200);
+        assert!(stats.uptime_secs > 0.0);
+
+        let snap = service.metrics();
+        // Every submitted insert is timed through the queue exactly once,
+        // so the queue-wait histogram count IS the update count …
+        let queue_wait = &snap.histograms[metric_names::STAGE_QUEUE_WAIT_NS];
+        assert_eq!(queue_wait.count, 200);
+        // … and the coalesced batches partition the same inserts.
+        let batch = &snap.histograms[metric_names::COALESCE_BATCH_SIZE];
+        assert_eq!(batch.sum, 200);
+        assert!(batch.count >= 1 && batch.count <= 200);
+        assert_eq!(snap.counters[metric_names::UPDATES_TOTAL], 200);
+
+        // Processing stages ran and their latencies are sane.
+        let reorder = &snap.histograms[metric_names::STAGE_REORDER_NS];
+        assert_eq!(reorder.count, batch.count, "one reorder pass per applied batch");
+        let publish = &snap.histograms[metric_names::STAGE_PUBLISH_NS];
+        assert!(publish.count >= 1);
+        assert!(publish.p99() <= publish.max);
+        assert!(snap.counters[metric_names::PUBLISHES_TOTAL] >= 1);
+
+        // The event ring saw the publishes.
+        assert!(snap.events.iter().any(|e| e.kind == EventKind::Publish));
+        drop(service);
     }
 
     #[test]

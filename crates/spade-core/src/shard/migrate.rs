@@ -139,6 +139,12 @@ pub struct MigrationStats {
     /// pointed back, so the fleet stays exact; when the source died its
     /// slice was unrecoverable regardless.
     pub failed_moves: u64,
+    /// Wall time of the most recent completed move, nanoseconds. The
+    /// full distribution lives in the runtime registry's
+    /// `spade_migration_move_ns` histogram
+    /// (`crate::shard::service::metric_names::MIGRATION_MOVE_NS`); this
+    /// field keeps the latest sample visible in plain stats reports.
+    pub last_move_ns: u64,
 }
 
 /// Picks a load-balancing move from per-shard **windowed** applied-update

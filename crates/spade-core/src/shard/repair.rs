@@ -76,6 +76,12 @@ pub struct RepairStats {
     pub corrupt_regions: u64,
     /// Density gained by the most recent pass (repaired − best shard).
     pub last_gain: f64,
+    /// Wall time of the most recent pass, nanoseconds. The full
+    /// distribution lives in the runtime registry's
+    /// `spade_repair_pass_ns` histogram
+    /// (`crate::shard::service::metric_names::REPAIR_PASS_NS`); this
+    /// field keeps the latest sample visible in plain stats reports.
+    pub last_pass_ns: u64,
 }
 
 /// Per-shard accounting of one repair pass, for reports.

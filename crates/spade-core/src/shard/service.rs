@@ -39,7 +39,22 @@ use crossbeam::channel::Receiver;
 use parking_lot::{Mutex, RwLock};
 use spade_graph::hash::FxHashSet;
 use spade_graph::VertexId;
+use spade_metrics::runtime::{EventKind, Histogram, MetricsRegistry, MetricsSnapshot};
 use std::sync::Arc;
+use std::time::Instant;
+
+/// Registry names of the runtime-level (cross-shard) metrics, alongside
+/// the per-worker names in [`crate::service::metric_names`].
+pub mod metric_names {
+    /// Histogram: wall time of one full repair pass (export → union →
+    /// re-peel → publish), nanoseconds.
+    pub const REPAIR_PASS_NS: &str = "spade_repair_pass_ns";
+    /// Histogram: wall time of one completed component move (await
+    /// evicted slice → replay into target), nanoseconds.
+    pub const MIGRATION_MOVE_NS: &str = "spade_migration_move_ns";
+    /// Gauge: number of worker shards.
+    pub const SHARDS: &str = "spade_shards";
+}
 
 /// Configuration of the sharded runtime.
 #[derive(Clone, Copy, Debug)]
@@ -119,6 +134,14 @@ pub struct ShardedSpadeService {
     /// behind an `Arc`, cloned by pointer), read lock-briefly by any
     /// number of moderators.
     repaired: RwLock<RepairedDetection>,
+    /// Runtime-level registry (repair/migration pass durations, event
+    /// trace); [`metrics`](Self::metrics) merges it with every shard's
+    /// per-worker registry.
+    registry: Arc<MetricsRegistry>,
+    /// Pre-resolved handle: repair pass wall time.
+    repair_pass_ns: Arc<Histogram>,
+    /// Pre-resolved handle: completed component-move wall time.
+    migration_move_ns: Arc<Histogram>,
 }
 
 /// Mutable state of the migration scheduler.
@@ -231,6 +254,9 @@ impl ShardedSpadeService {
                 format!("spade-shard-{shard}"),
             ));
         }
+        let registry = Arc::new(MetricsRegistry::new());
+        let repair_pass_ns = registry.histogram(metric_names::REPAIR_PASS_NS);
+        let migration_move_ns = registry.histogram(metric_names::MIGRATION_MOVE_NS);
         ShardedSpadeService {
             shards,
             router: Router::new(config.strategy),
@@ -240,6 +266,9 @@ impl ShardedSpadeService {
             migration: Mutex::new(MigrationState::default()),
             repair: Mutex::new(RepairState::new()),
             repaired: RwLock::new(RepairedDetection::default()),
+            registry,
+            repair_pass_ns,
+            migration_move_ns,
         }
     }
 
@@ -348,6 +377,48 @@ impl ShardedSpadeService {
             .enumerate()
             .map(|(shard, s)| ShardStats { shard, service: s.stats() })
             .collect()
+    }
+
+    /// Time since the runtime was spawned.
+    pub fn uptime(&self) -> std::time::Duration {
+        self.registry.uptime()
+    }
+
+    /// The merged observability view: every shard's per-worker registry
+    /// (per-stage latency histograms, counters, event traces) summed
+    /// bucket-wise with the runtime-level registry (repair/migration
+    /// pass durations), plus the repair and migration subsystem counters
+    /// re-expressed as registry series. Histogram counts reconcile with
+    /// the drain accounting — at quiesce, the merged
+    /// `spade_stage_queue_wait_ns` count equals the summed
+    /// `updates_applied` across shards, because every insert is timed
+    /// through its queue exactly once.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut merged = self.registry.snapshot();
+        for shard in &self.shards {
+            merged = merged.merge(&shard.metrics());
+        }
+        merged.gauges.insert(metric_names::SHARDS.into(), self.shards.len() as u64);
+        let repair = self.repair.lock().stats;
+        let migration = self.migration.lock().stats;
+        for (name, value) in [
+            ("spade_repair_passes_total", repair.repairs),
+            ("spade_repair_regions_exported_total", repair.regions_exported),
+            ("spade_repair_groups_merged_total", repair.groups_merged),
+            ("spade_repair_published_total", repair.published),
+            ("spade_repair_served_cached_total", repair.served_cached),
+            ("spade_repair_corrupt_regions_total", repair.corrupt_regions),
+            ("spade_migration_passes_total", migration.passes),
+            ("spade_migrations_total", migration.migrations),
+            ("spade_migration_strand_repairs_total", migration.strand_repairs),
+            ("spade_migration_load_moves_total", migration.load_moves),
+            ("spade_migration_edges_moved_total", migration.edges_moved),
+            ("spade_migration_failed_moves_total", migration.failed_moves),
+            ("spade_migration_skipped_empty_total", migration.skipped_empty),
+        ] {
+            merged.counters.insert(name.into(), value);
+        }
+        merged
     }
 
     /// Forces a cross-shard repair pass now: every shard exports its
@@ -595,6 +666,7 @@ impl ShardedSpadeService {
         stats: &mut MigrationStats,
         report: &mut MigrationReport,
     ) -> bool {
+        let move_started = Instant::now();
         let Ok(slice) = rx.recv() else {
             // The source died after accepting the marker: its engine —
             // and with it the slice — is gone, evicted or not. Nothing
@@ -638,12 +710,17 @@ impl ShardedSpadeService {
         }
         stats.edges_moved += record.edges as u64;
         stats.edge_weight_moved += record.edge_weight;
+        let move_elapsed = move_started.elapsed();
+        stats.last_move_ns = move_elapsed.as_nanos().min(u64::MAX as u128) as u64;
+        self.migration_move_ns.record_duration(move_elapsed);
+        self.registry.event(EventKind::Migration, record.edges as u64);
         report.moves.push(record);
         true
     }
 
     /// The repair pass proper: export → group/union/re-peel → publish.
     fn run_repair(&self, state: &mut RepairState) -> RepairedDetection {
+        let pass_started = Instant::now();
         let hops = self.repair_config.hops;
         // Freshness markers are captured BEFORE the export: an edge that
         // lands while the pass runs makes the next scheduler call re-run
@@ -680,7 +757,12 @@ impl ShardedSpadeService {
         state.stats.corrupt_regions += outcome.corrupt_regions as u64;
         state.stats.last_gain = (outcome.density - outcome.baseline_density).max(0.0);
         state.last_pass_updates = updates;
-        self.publish_repaired(state, outcome, updates)
+        let published = self.publish_repaired(state, outcome, updates);
+        let pass_elapsed = pass_started.elapsed();
+        state.stats.last_pass_ns = pass_elapsed.as_nanos().min(u64::MAX as u128) as u64;
+        self.repair_pass_ns.record_duration(pass_elapsed);
+        self.registry.event(EventKind::RepairPass, state.stats.regions_exported);
+        published
     }
 
     /// Swaps the published repaired snapshot only when the answer
@@ -817,6 +899,69 @@ mod tests {
             service.shutdown()
         };
         assert_eq!(final_global.total_updates, submitted);
+    }
+
+    #[test]
+    fn merged_metrics_reconcile_with_updates_applied() {
+        use crate::service::metric_names as worker_names;
+        let service = ShardedSpadeService::spawn(WeightedDensity, ShardedConfig::with_shards(3));
+        let submitted = feed_ring(&service);
+        let _ = service.repair();
+        // Wait for every shard worker to drain its queue — repair alone
+        // is not a barrier (it may serve a cached/partial export).
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        while service.stats().iter().map(|s| s.service.updates_applied).sum::<u64>() < submitted {
+            assert!(std::time::Instant::now() < deadline, "shard workers stalled");
+            std::thread::yield_now();
+        }
+
+        let snap = service.metrics();
+        assert_eq!(snap.gauges[super::metric_names::SHARDS], 3);
+        assert_eq!(
+            snap.histograms[worker_names::STAGE_QUEUE_WAIT_NS].count,
+            submitted,
+            "every submitted insert is timed through its queue exactly once"
+        );
+        assert_eq!(snap.counters[worker_names::UPDATES_TOTAL], submitted);
+        let applied: u64 = service.stats().iter().map(|s| s.service.updates_applied).sum();
+        assert_eq!(applied, submitted);
+        assert!(snap.histograms[worker_names::STAGE_PUBLISH_NS].count >= 3);
+
+        // The runtime-level registry saw the repair pass.
+        assert_eq!(snap.counters["spade_repair_passes_total"], 1);
+        assert_eq!(snap.histograms[super::metric_names::REPAIR_PASS_NS].count, 1);
+        assert!(snap.events.iter().any(|e| e.kind == EventKind::RepairPass));
+        assert!(snap.uptime_secs > 0.0);
+
+        // The rendered exposition carries the merged series.
+        let text = snap.render_prometheus();
+        assert!(text.contains("spade_stage_queue_wait_ns_count"));
+        assert!(text.contains("spade_repair_pass_ns_count 1"));
+        service.shutdown();
+    }
+
+    #[test]
+    fn migration_moves_are_timed_and_traced() {
+        let service = ShardedSpadeService::spawn(WeightedDensity, ShardedConfig::with_shards(2));
+        for (a, b, w) in ring_pairs(10..14, 15.0) {
+            assert!(service.submit(a, b, w));
+        }
+        let home = {
+            let mut found = None;
+            for to in 0..2 {
+                if service.migrate_component(v(10), to).is_some() {
+                    found = Some(to);
+                    break;
+                }
+            }
+            found.expect("one direction must move")
+        };
+        let _ = home;
+        let snap = service.metrics();
+        assert_eq!(snap.histograms[super::metric_names::MIGRATION_MOVE_NS].count, 1);
+        assert_eq!(snap.counters["spade_migrations_total"], 1);
+        assert!(snap.events.iter().any(|e| e.kind == EventKind::Migration));
+        drop(service);
     }
 
     #[test]

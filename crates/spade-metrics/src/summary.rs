@@ -66,6 +66,35 @@ mod tests {
         let s = Summary::of(&[]);
         assert_eq!(s.count, 0);
         assert_eq!(s.mean, 0.0);
+        assert_eq!(s.min, 0.0);
+        assert_eq!(s.p50, 0.0);
+        assert_eq!(s.p95, 0.0);
+        assert_eq!(s.p99, 0.0);
+        assert_eq!(s.max, 0.0);
+    }
+
+    #[test]
+    fn single_sample_pins_every_percentile() {
+        let s = Summary::of(&[42.0]);
+        assert_eq!(s.count, 1);
+        assert_eq!(s.mean, 42.0);
+        assert_eq!(s.min, 42.0);
+        assert_eq!(s.p50, 42.0);
+        assert_eq!(s.p95, 42.0);
+        assert_eq!(s.p99, 42.0);
+        assert_eq!(s.max, 42.0);
+    }
+
+    #[test]
+    fn all_equal_samples_pin_every_percentile() {
+        let s = Summary::of(&[7.5; 128]);
+        assert_eq!(s.count, 128);
+        assert_eq!(s.mean, 7.5);
+        assert_eq!(s.min, 7.5);
+        assert_eq!(s.p50, 7.5);
+        assert_eq!(s.p95, 7.5);
+        assert_eq!(s.p99, 7.5);
+        assert_eq!(s.max, 7.5);
     }
 
     #[test]

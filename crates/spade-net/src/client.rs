@@ -11,7 +11,7 @@
 //! when it returns every submitted edge has been **acknowledged** — i.e.
 //! enqueued into a shard on the server.
 
-use crate::wire::{write_frame, DetectionReply, FrameDecoder, StatsReply, WireFrame};
+use crate::wire::{write_frame, DetectionReply, FrameDecoder, MetricsReply, StatsReply, WireFrame};
 use spade_graph::VertexId;
 use std::collections::VecDeque;
 use std::io::{Read, Write};
@@ -142,6 +142,19 @@ impl SpadeNetClient {
         match self.read_reply()? {
             WireFrame::StatsReply(reply) => Ok(reply),
             other => Err(unexpected(&other, "StatsReply")),
+        }
+    }
+
+    /// Flushes, then asks for the merged metrics snapshot rendered as
+    /// Prometheus text exposition (per-stage latency histograms, repair
+    /// and migration counters, transport totals and per-connection
+    /// series).
+    pub fn server_metrics(&mut self) -> std::io::Result<MetricsReply> {
+        self.flush()?;
+        self.request(&WireFrame::Metrics)?;
+        match self.read_reply()? {
+            WireFrame::MetricsReply(reply) => Ok(reply),
+            other => Err(unexpected(&other, "MetricsReply")),
         }
     }
 

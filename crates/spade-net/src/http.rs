@@ -1,0 +1,156 @@
+//! A minimal HTTP/1.0 metrics exporter for Prometheus-style scrapers.
+//!
+//! [`MetricsHttpServer`] binds a loopback (or any) address and answers
+//! every request with the text exposition produced by a caller-supplied
+//! render closure — typically
+//! `ShardedSpadeService::metrics().merge(&server.metrics()).render_prometheus()`,
+//! the same rendering a wire-level `Metrics` request returns. The
+//! responder is deliberately tiny: it ignores the request line and
+//! headers (every path scrapes), speaks `Connection: close`, and serves
+//! one request per connection — exactly what a scrape loop needs and
+//! nothing more, with no HTTP dependency.
+//!
+//! Requests are handled sequentially on the accept thread; a stalled
+//! scraper is bounded by a short read timeout, so it can delay the next
+//! scrape but never wedge the exporter.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long the accept loop sleeps when no scrape is pending.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+/// Upper bound on waiting for a scraper to send its request line.
+const REQUEST_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// Produces the exposition body served to every scrape.
+pub type RenderFn = dyn Fn() -> String + Send + Sync;
+
+/// A running metrics exporter. Dropping the handle stops the listener
+/// and joins the accept thread.
+pub struct MetricsHttpServer {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl MetricsHttpServer {
+    /// Binds `addr` (port 0 for an OS-assigned port) and serves
+    /// `render()` as `text/plain` to every request.
+    pub fn bind<A: ToSocketAddrs>(
+        addr: A,
+        render: Arc<RenderFn>,
+    ) -> std::io::Result<MetricsHttpServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("spade-metrics-http".into())
+                .spawn(move || accept_loop(listener, render, stop))
+                .expect("failed to spawn the metrics exporter thread")
+        };
+        Ok(MetricsHttpServer { local_addr, stop, accept: Some(accept) })
+    }
+
+    /// The bound address (resolves port 0 to the real port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Asks the exporter to wind down without blocking.
+    pub fn stop(&self) {
+        self.stop.store(true, Ordering::Release);
+    }
+
+    /// Stops the exporter and joins its thread.
+    pub fn shutdown(mut self) {
+        self.join();
+    }
+
+    fn join(&mut self) {
+        self.stop();
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+impl Drop for MetricsHttpServer {
+    fn drop(&mut self) {
+        self.join();
+    }
+}
+
+fn accept_loop(listener: TcpListener, render: Arc<RenderFn>, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::Acquire) {
+        match listener.accept() {
+            Ok((mut stream, _peer)) => {
+                // Read whatever request the scraper sent (the content is
+                // irrelevant — every path serves the exposition), then
+                // answer and close. Errors only drop this one scrape.
+                stream.set_read_timeout(Some(REQUEST_TIMEOUT)).ok();
+                let mut req = [0u8; 4096];
+                let _ = stream.read(&mut req);
+                let body = render();
+                let head = format!(
+                    "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4; \
+                     charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+                    body.len()
+                );
+                let _ = stream.write_all(head.as_bytes());
+                let _ = stream.write_all(body.as_bytes());
+                let _ = stream.flush();
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+            }
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpStream;
+
+    fn scrape(addr: SocketAddr) -> String {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+        stream.flush().unwrap();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read response");
+        response
+    }
+
+    #[test]
+    fn every_request_serves_the_rendered_exposition() {
+        let hits = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let render: Arc<RenderFn> = {
+            let hits = Arc::clone(&hits);
+            Arc::new(move || {
+                let n = hits.fetch_add(1, Ordering::Relaxed) + 1;
+                format!("# TYPE scrape_count counter\nscrape_count {n}\n")
+            })
+        };
+        let server = MetricsHttpServer::bind("127.0.0.1:0", render).expect("bind");
+        let addr = server.local_addr();
+
+        let first = scrape(addr);
+        assert!(first.starts_with("HTTP/1.0 200 OK\r\n"), "got: {first}");
+        assert!(first.contains("Content-Type: text/plain"));
+        assert!(first.contains("scrape_count 1\n"));
+
+        // A second scrape re-renders: the counter is live, not cached.
+        let second = scrape(addr);
+        assert!(second.contains("scrape_count 2\n"));
+        assert_eq!(hits.load(Ordering::Relaxed), 2);
+        server.shutdown();
+    }
+}

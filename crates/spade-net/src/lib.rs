@@ -28,19 +28,29 @@
 //! payload := u8 opcode | body
 //! ```
 //!
-//! Requests: `Edge`, `Batch`, `Flush`, `Detect`, `Stats`, `Shutdown`.
-//! Replies: `Ack`, `Busy`, `Detection`, `StatsReply`, `Error`. The
-//! decoder rejects truncated, oversized, and structurally invalid frames
-//! with an error — never a panic — mirroring the overflow-safe section
-//! checks of the `spade_core::persist` snapshot codec.
+//! Requests: `Edge`, `Batch`, `Flush`, `Detect`, `Stats`, `Shutdown`,
+//! `Metrics`. Replies: `Ack`, `Busy`, `Detection`, `StatsReply`,
+//! `MetricsReply`, `Error`. The decoder rejects truncated, oversized,
+//! and structurally invalid frames with an error — never a panic —
+//! mirroring the overflow-safe section checks of the
+//! `spade_core::persist` snapshot codec.
+//!
+//! Observability rides the same socket: a `Metrics` request answers with
+//! the merged runtime + transport registry snapshot rendered as
+//! Prometheus text exposition ([`MetricsReply`]), and
+//! [`MetricsHttpServer`] serves the identical rendering to plain HTTP
+//! scrapers (`spade-cli serve --metrics`).
 
 pub mod client;
+pub mod http;
 pub mod server;
 pub mod wire;
 
 pub use client::{ClientConfig, ClientStats, SpadeNetClient};
+pub use http::MetricsHttpServer;
 pub use server::{NetStats, SpadeNetServer};
 pub use wire::{
-    read_frame, write_frame, DetectionReply, FrameDecoder, StatsReply, WireError, WireFrame,
-    MAX_BATCH_EDGES, MAX_DETECTION_MEMBERS, MAX_FRAME_BYTES,
+    read_frame, write_frame, DetectionReply, FrameDecoder, MetricsReply, StatsReply, WireError,
+    WireFrame, MAX_BATCH_EDGES, MAX_DETECTION_MEMBERS, MAX_EXPOSITION_BYTES, MAX_FRAME_BYTES,
+    MAX_STATS_SHARDS, METRICS_VERSION,
 };

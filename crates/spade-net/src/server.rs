@@ -22,11 +22,15 @@
 //! prefix) earns the producer an [`WireFrame::Error`] reply and its
 //! connection is closed; the server itself never panics on wire input.
 
-use crate::wire::{write_frame, FrameDecoder, StatsReply, WireFrame};
+use crate::wire::{
+    write_frame, FrameDecoder, MetricsReply, StatsReply, WireFrame, METRICS_VERSION,
+};
 use parking_lot::Mutex;
 use spade_core::shard::ShardedSpadeService;
 use spade_core::TrySubmit;
 use spade_graph::VertexId;
+use spade_metrics::MetricsSnapshot;
+use std::collections::BTreeMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -38,6 +42,20 @@ use std::time::Duration;
 const READ_POLL: Duration = Duration::from_millis(50);
 /// How long the accept loop sleeps when no connection is pending.
 const ACCEPT_POLL: Duration = Duration::from_millis(10);
+/// Most per-connection counter sets kept for the metrics exposition.
+/// The global totals stay exact forever; labeled `conn="N"` series are a
+/// sliding window over the most recent connections so a long-lived
+/// server's exposition stays bounded.
+const MAX_TRACKED_CONNS: usize = 64;
+
+/// Per-connection transport counters, exposed as labeled series in the
+/// metrics exposition (`spade_net_connection_frames{conn="N"}` …).
+#[derive(Debug, Default)]
+struct ConnCounters {
+    frames: AtomicU64,
+    bytes: AtomicU64,
+    busy_replies: AtomicU64,
+}
 
 /// Monotonic transport counters (shared by all connection handlers).
 #[derive(Debug, Default)]
@@ -47,6 +65,42 @@ struct NetTelemetry {
     edges_accepted: AtomicU64,
     busy_replies: AtomicU64,
     malformed_frames: AtomicU64,
+    /// Live + recently closed connections, keyed by accept order.
+    per_conn: Mutex<BTreeMap<u64, Arc<ConnCounters>>>,
+    /// Transport-side event trace (Busy bounces, malformed frames) —
+    /// merged into the runtime's trace in the metrics snapshot.
+    registry: spade_metrics::MetricsRegistry,
+}
+
+/// Renders the transport counters as a [`MetricsSnapshot`] ready to
+/// merge with [`ShardedSpadeService::metrics`]: global totals plus one
+/// labeled series triple per tracked connection, plus the transport's
+/// event trace.
+fn net_snapshot(telemetry: &NetTelemetry) -> MetricsSnapshot {
+    let mut snap = telemetry.registry.snapshot();
+    let mut c = |name: &str, v: u64| {
+        snap.counters.insert(name.to_string(), v);
+    };
+    c("spade_net_connections_total", telemetry.connections.load(Ordering::Relaxed));
+    c("spade_net_frames_total", telemetry.frames.load(Ordering::Relaxed));
+    c("spade_net_edges_accepted_total", telemetry.edges_accepted.load(Ordering::Relaxed));
+    c("spade_net_busy_replies_total", telemetry.busy_replies.load(Ordering::Relaxed));
+    c("spade_net_malformed_frames_total", telemetry.malformed_frames.load(Ordering::Relaxed));
+    for (id, conn) in telemetry.per_conn.lock().iter() {
+        c(
+            &format!("spade_net_connection_frames{{conn=\"{id}\"}}"),
+            conn.frames.load(Ordering::Relaxed),
+        );
+        c(
+            &format!("spade_net_connection_bytes{{conn=\"{id}\"}}"),
+            conn.bytes.load(Ordering::Relaxed),
+        );
+        c(
+            &format!("spade_net_connection_busy{{conn=\"{id}\"}}"),
+            conn.busy_replies.load(Ordering::Relaxed),
+        );
+    }
+    snap
 }
 
 /// Point-in-time transport statistics of a [`SpadeNetServer`].
@@ -126,6 +180,22 @@ impl SpadeNetServer {
         self.stop.store(true, Ordering::Release);
     }
 
+    /// The transport's own counters as a [`MetricsSnapshot`] — global
+    /// totals plus per-connection `conn="N"`-labeled series. Merge with
+    /// [`ShardedSpadeService::metrics`] for the full picture (the wire
+    /// `Metrics` request does exactly that server-side).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        net_snapshot(&self.telemetry)
+    }
+
+    /// A cloneable provider of the transport's metrics snapshot, for
+    /// exporters whose render closure must outlive this handle's borrow
+    /// (the CLI's HTTP exporter thread).
+    pub fn metrics_provider(&self) -> Arc<dyn Fn() -> MetricsSnapshot + Send + Sync> {
+        let telemetry = Arc::clone(&self.telemetry);
+        Arc::new(move || net_snapshot(&telemetry))
+    }
+
     /// Current transport counters.
     pub fn stats(&self) -> NetStats {
         let t = &self.telemetry;
@@ -178,13 +248,24 @@ fn accept_loop(
             Ok((stream, _peer)) => {
                 telemetry.connections.fetch_add(1, Ordering::Relaxed);
                 conn_id += 1;
+                let conn = Arc::new(ConnCounters::default());
+                {
+                    let mut per_conn = telemetry.per_conn.lock();
+                    per_conn.insert(conn_id, Arc::clone(&conn));
+                    // Oldest connections age out of the labeled series
+                    // window (the global totals already counted them).
+                    while per_conn.len() > MAX_TRACKED_CONNS {
+                        let oldest = *per_conn.keys().next().expect("non-empty map");
+                        per_conn.remove(&oldest);
+                    }
+                }
                 let service = Arc::clone(&service);
                 let stop = Arc::clone(&stop);
                 let telemetry = Arc::clone(&telemetry);
                 let handle = std::thread::Builder::new()
                     .name(format!("spade-net-conn-{conn_id}"))
                     .spawn(move || {
-                        let _ = handle_connection(stream, &service, &stop, &telemetry);
+                        let _ = handle_connection(stream, &service, &stop, &telemetry, &conn);
                     })
                     .expect("failed to spawn a connection handler");
                 // Reap finished handlers so a long-lived server's handle
@@ -208,6 +289,7 @@ fn handle_connection(
     service: &ShardedSpadeService,
     stop: &AtomicBool,
     telemetry: &NetTelemetry,
+    conn: &ConnCounters,
 ) -> std::io::Result<()> {
     stream.set_nodelay(true).ok();
     // A finite read timeout lets the handler notice the stop flag while
@@ -230,12 +312,14 @@ fn handle_connection(
             }
             Err(_) => break,
         };
+        conn.bytes.fetch_add(n as u64, Ordering::Relaxed);
         decoder.extend(&chunk[..n]);
         loop {
             match decoder.next_frame() {
                 Ok(Some(frame)) => {
                     telemetry.frames.fetch_add(1, Ordering::Relaxed);
-                    if !handle_frame(frame, service, stop, telemetry, &mut writer)? {
+                    conn.frames.fetch_add(1, Ordering::Relaxed);
+                    if !handle_frame(frame, service, stop, telemetry, conn, &mut writer)? {
                         writer.flush()?;
                         break 'conn;
                     }
@@ -245,6 +329,7 @@ fn handle_connection(
                     // Framing is untrustworthy from here on: answer with
                     // the cause and hang up.
                     telemetry.malformed_frames.fetch_add(1, Ordering::Relaxed);
+                    telemetry.registry.event(spade_metrics::EventKind::MalformedFrame, 0);
                     let _ =
                         write_frame(&mut writer, &WireFrame::Error { message: err.to_string() });
                     writer.flush()?;
@@ -264,16 +349,17 @@ fn handle_frame<W: Write>(
     service: &ShardedSpadeService,
     stop: &AtomicBool,
     telemetry: &NetTelemetry,
+    conn: &ConnCounters,
     out: &mut W,
 ) -> std::io::Result<bool> {
     match frame {
         WireFrame::Edge { src, dst, raw } => {
-            let (reply, alive) = submit_run(&[(src, dst, raw)], service, telemetry);
+            let (reply, alive) = submit_run(&[(src, dst, raw)], service, telemetry, conn);
             write_frame(out, &reply)?;
             Ok(alive)
         }
         WireFrame::Batch { edges } => {
-            let (reply, alive) = submit_run(&edges, service, telemetry);
+            let (reply, alive) = submit_run(&edges, service, telemetry, conn);
             write_frame(out, &reply)?;
             Ok(alive)
         }
@@ -323,6 +409,25 @@ fn handle_frame<W: Write>(
                     edges_accepted: t.edges_accepted.load(Ordering::Relaxed),
                     busy_replies: t.busy_replies.load(Ordering::Relaxed),
                     malformed_frames: t.malformed_frames.load(Ordering::Relaxed),
+                    uptime_secs: service.uptime().as_secs_f64(),
+                    shard_queue_depths: shard_stats
+                        .iter()
+                        .map(|s| s.service.queue_depth as u64)
+                        .collect(),
+                }),
+            )?;
+            Ok(true)
+        }
+        WireFrame::Metrics => {
+            // Runtime registries (every shard, merged) + the transport's
+            // own counters, rendered once server-side so every exporter
+            // ships the identical exposition.
+            let merged = service.metrics().merge(&net_snapshot(telemetry));
+            write_frame(
+                out,
+                &WireFrame::MetricsReply(MetricsReply {
+                    version: METRICS_VERSION,
+                    exposition: merged.render_prometheus(),
                 }),
             )?;
             Ok(true)
@@ -340,6 +445,7 @@ fn handle_frame<W: Write>(
         | WireFrame::Busy { .. }
         | WireFrame::Detection(_)
         | WireFrame::StatsReply(_)
+        | WireFrame::MetricsReply(_)
         | WireFrame::Error { .. } => {
             telemetry.malformed_frames.fetch_add(1, Ordering::Relaxed);
             write_frame(out, &WireFrame::Error { message: "reply frame sent to server".into() })?;
@@ -359,6 +465,7 @@ fn submit_run(
     edges: &[(VertexId, VertexId, f64)],
     service: &ShardedSpadeService,
     telemetry: &NetTelemetry,
+    conn: &ConnCounters,
 ) -> (WireFrame, bool) {
     let mut accepted = 0u64;
     for &(src, dst, raw) in edges {
@@ -367,6 +474,8 @@ fn submit_run(
             TrySubmit::Full => {
                 telemetry.edges_accepted.fetch_add(accepted, Ordering::Relaxed);
                 telemetry.busy_replies.fetch_add(1, Ordering::Relaxed);
+                conn.busy_replies.fetch_add(1, Ordering::Relaxed);
+                telemetry.registry.event(spade_metrics::EventKind::Busy, accepted);
                 return (WireFrame::Busy { accepted }, true);
             }
             TrySubmit::Closed => {

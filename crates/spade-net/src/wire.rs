@@ -31,17 +31,35 @@ pub const MAX_DETECTION_MEMBERS: usize = (MAX_FRAME_BYTES - 29) / 4;
 /// at encode time.
 const MAX_ERROR_BYTES: usize = 512;
 
+/// Version tag of the metrics exposition carried by
+/// [`WireFrame::MetricsReply`]. Bump when the exposition's structure
+/// (not its metric set — new series are always fair game) changes
+/// incompatibly, so a scraper can refuse formats it doesn't understand.
+pub const METRICS_VERSION: u32 = 1;
+
+/// Longest metrics exposition one `MetricsReply` ships (opcode + u32
+/// version leave the rest of the frame for UTF-8 text). A larger
+/// rendering truncates at a char boundary at encode time.
+pub const MAX_EXPOSITION_BYTES: usize = MAX_FRAME_BYTES - 5;
+
+/// Most per-shard queue depths one `StatsReply` carries (fixed header
+/// of 77 bytes + 8 per shard) — far above any real shard count, it only
+/// bounds hostile input.
+pub const MAX_STATS_SHARDS: usize = (MAX_FRAME_BYTES - 77) / 8;
+
 const OP_EDGE: u8 = 0x01;
 const OP_BATCH: u8 = 0x02;
 const OP_FLUSH: u8 = 0x03;
 const OP_DETECT: u8 = 0x04;
 const OP_STATS: u8 = 0x05;
 const OP_SHUTDOWN: u8 = 0x06;
+const OP_METRICS: u8 = 0x07;
 const OP_ACK: u8 = 0x81;
 const OP_BUSY: u8 = 0x82;
 const OP_DETECTION: u8 = 0x83;
 const OP_STATS_REPLY: u8 = 0x84;
 const OP_ERROR: u8 = 0x85;
+const OP_METRICS_REPLY: u8 = 0x86;
 
 /// Errors raised while decoding or transporting frames.
 #[derive(Debug)]
@@ -107,7 +125,7 @@ pub struct DetectionReply {
 
 /// The server's answer to a `Stats` request: runtime totals plus the
 /// transport's own counters.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct StatsReply {
     /// Worker shards behind the server.
     pub shards: u64,
@@ -125,6 +143,25 @@ pub struct StatsReply {
     pub busy_replies: u64,
     /// Connections dropped over malformed frames.
     pub malformed_frames: u64,
+    /// Seconds the runtime behind the server has been up.
+    pub uptime_secs: f64,
+    /// Commands waiting in each shard's queue, indexed by shard — the
+    /// live back-pressure signal (`queue_depth` above is their sum). A
+    /// deployment beyond [`MAX_STATS_SHARDS`] shards truncates the list
+    /// on the wire.
+    pub shard_queue_depths: Vec<u64>,
+}
+
+/// The server's answer to a `Metrics` request: the merged runtime +
+/// transport registry snapshot rendered as Prometheus text exposition.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct MetricsReply {
+    /// Exposition format version ([`METRICS_VERSION`] when produced by
+    /// this build).
+    pub version: u32,
+    /// Prometheus-style text exposition. Truncated at a char boundary
+    /// to [`MAX_EXPOSITION_BYTES`] on the wire.
+    pub exposition: String,
 }
 
 /// One protocol frame, request or reply.
@@ -154,6 +191,9 @@ pub enum WireFrame {
     /// Stop the server once this frame is processed (the replay
     /// coordinator's end-of-stream marker).
     Shutdown,
+    /// Ask for the merged metrics-registry snapshot as Prometheus text
+    /// exposition (per-stage latency histograms included).
+    Metrics,
     /// Request processed; `accepted` edges were enqueued (0 for
     /// non-ingest requests).
     Ack {
@@ -170,6 +210,8 @@ pub enum WireFrame {
     Detection(DetectionReply),
     /// Runtime + transport statistics.
     StatsReply(StatsReply),
+    /// The merged metrics snapshot, rendered for scraping.
+    MetricsReply(MetricsReply),
     /// The request failed; the connection closes after this frame.
     Error {
         /// Human-readable cause.
@@ -227,6 +269,7 @@ impl WireFrame {
             WireFrame::Detect => payload.put_slice(&[OP_DETECT]),
             WireFrame::Stats => payload.put_slice(&[OP_STATS]),
             WireFrame::Shutdown => payload.put_slice(&[OP_SHUTDOWN]),
+            WireFrame::Metrics => payload.put_slice(&[OP_METRICS]),
             WireFrame::Ack { accepted } => {
                 payload.put_slice(&[OP_ACK]);
                 payload.put_u64_le(*accepted);
@@ -263,6 +306,22 @@ impl WireFrame {
                 ] {
                     payload.put_u64_le(v);
                 }
+                payload.put_f64_le(s.uptime_secs);
+                let depths =
+                    &s.shard_queue_depths[..s.shard_queue_depths.len().min(MAX_STATS_SHARDS)];
+                payload.put_u32_le(depths.len() as u32);
+                for &d in depths {
+                    payload.put_u64_le(d);
+                }
+            }
+            WireFrame::MetricsReply(m) => {
+                payload.put_slice(&[OP_METRICS_REPLY]);
+                payload.put_u32_le(m.version);
+                let bytes = m.exposition.as_bytes();
+                let cut = bytes.len().min(MAX_EXPOSITION_BYTES);
+                // Never split a UTF-8 sequence at the truncation point.
+                let cut = (0..=cut).rev().find(|&i| m.exposition.is_char_boundary(i)).unwrap_or(0);
+                payload.put_slice(&bytes[..cut]);
             }
             WireFrame::Error { message } => {
                 payload.put_slice(&[OP_ERROR]);
@@ -287,7 +346,8 @@ impl WireFrame {
             WireFrame::Batch { edges } => 5 + edges.len() * 16,
             WireFrame::Detection(det) => 29 + det.members.len().min(MAX_DETECTION_MEMBERS) * 4,
             WireFrame::Error { message } => 1 + message.len().min(MAX_ERROR_BYTES),
-            WireFrame::StatsReply(_) => 65,
+            WireFrame::StatsReply(s) => 77 + s.shard_queue_depths.len().min(MAX_STATS_SHARDS) * 8,
+            WireFrame::MetricsReply(m) => 5 + m.exposition.len().min(MAX_EXPOSITION_BYTES),
             _ => 17,
         }
     }
@@ -326,6 +386,7 @@ impl WireFrame {
             OP_DETECT => WireFrame::Detect,
             OP_STATS => WireFrame::Stats,
             OP_SHUTDOWN => WireFrame::Shutdown,
+            OP_METRICS => WireFrame::Metrics,
             OP_ACK => {
                 need(&buf, 8, "truncated ack")?;
                 WireFrame::Ack { accepted: buf.get_u64_le() }
@@ -345,8 +406,8 @@ impl WireFrame {
                 WireFrame::Detection(DetectionReply { size, density, updates_applied, members })
             }
             OP_STATS_REPLY => {
-                need(&buf, 64, "truncated stats reply")?;
-                WireFrame::StatsReply(StatsReply {
+                need(&buf, 76, "truncated stats reply")?;
+                let mut reply = StatsReply {
                     shards: buf.get_u64_le(),
                     updates_applied: buf.get_u64_le(),
                     queue_depth: buf.get_u64_le(),
@@ -355,7 +416,21 @@ impl WireFrame {
                     edges_accepted: buf.get_u64_le(),
                     busy_replies: buf.get_u64_le(),
                     malformed_frames: buf.get_u64_le(),
-                })
+                    uptime_secs: buf.get_f64_le(),
+                    shard_queue_depths: Vec::new(),
+                };
+                let count = buf.get_u32_le() as usize;
+                check_section(&buf, count, 8, "truncated queue-depth list")?;
+                reply.shard_queue_depths = (0..count).map(|_| buf.get_u64_le()).collect();
+                WireFrame::StatsReply(reply)
+            }
+            OP_METRICS_REPLY => {
+                need(&buf, 4, "truncated metrics reply")?;
+                let version = buf.get_u32_le();
+                let raw = buf.take_bytes(buf.remaining()).to_vec();
+                let exposition = String::from_utf8(raw)
+                    .map_err(|_| WireError::Corrupt("metrics exposition is not UTF-8"))?;
+                return Ok(WireFrame::MetricsReply(MetricsReply { version, exposition }));
             }
             OP_ERROR => {
                 let raw = buf.take_bytes(buf.remaining()).to_vec();
@@ -487,6 +562,7 @@ mod tests {
         roundtrip(WireFrame::Detect);
         roundtrip(WireFrame::Stats);
         roundtrip(WireFrame::Shutdown);
+        roundtrip(WireFrame::Metrics);
         roundtrip(WireFrame::Ack { accepted: u64::MAX });
         roundtrip(WireFrame::Busy { accepted: 7 });
         roundtrip(WireFrame::Detection(DetectionReply {
@@ -504,6 +580,13 @@ mod tests {
             edges_accepted: 8,
             busy_replies: 1,
             malformed_frames: 0,
+            uptime_secs: 12.75,
+            shard_queue_depths: vec![2, 0, 0, 0],
+        }));
+        roundtrip(WireFrame::StatsReply(StatsReply::default()));
+        roundtrip(WireFrame::MetricsReply(MetricsReply {
+            version: METRICS_VERSION,
+            exposition: "# TYPE spade_updates_total counter\nspade_updates_total 9\n".into(),
         }));
         roundtrip(WireFrame::Error { message: "queue déjà full".into() });
     }
@@ -585,6 +668,38 @@ mod tests {
         };
         assert_eq!(det.members.len(), MAX_DETECTION_MEMBERS);
         assert_eq!(det.size, (MAX_DETECTION_MEMBERS + 1000) as u64, "true size survives");
+    }
+
+    #[test]
+    fn oversized_expositions_truncate_on_char_boundaries() {
+        // A rendering beyond the frame budget (multi-byte chars placed to
+        // straddle the cut) truncates on the wire without breaking
+        // framing or UTF-8.
+        let huge = "λ".repeat(MAX_EXPOSITION_BYTES); // 2 bytes per char
+        let bytes =
+            WireFrame::MetricsReply(MetricsReply { version: METRICS_VERSION, exposition: huge })
+                .encode();
+        assert!(bytes.len() <= 4 + MAX_FRAME_BYTES);
+        let mut dec = FrameDecoder::new();
+        dec.extend(&bytes);
+        let Some(WireFrame::MetricsReply(m)) = dec.next_frame().unwrap() else {
+            panic!("expected a metrics reply");
+        };
+        assert_eq!(m.version, METRICS_VERSION);
+        assert!(m.exposition.len() <= MAX_EXPOSITION_BYTES);
+        assert!(m.exposition.chars().all(|c| c == 'λ'));
+    }
+
+    #[test]
+    fn stats_reply_queue_depth_lists_are_overflow_checked() {
+        // A depth count claiming more entries than the payload holds.
+        let mut payload = WireFrame::StatsReply(StatsReply::default()).encode()[4..].to_vec();
+        let at = payload.len() - 4;
+        payload[at..].copy_from_slice(&1000u32.to_le_bytes());
+        assert!(matches!(WireFrame::decode_payload(&payload), Err(WireError::Corrupt(_))));
+        // A count crafted to overflow count * 8.
+        payload[at..].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(WireFrame::decode_payload(&payload), Err(WireError::Corrupt(_))));
     }
 
     #[test]

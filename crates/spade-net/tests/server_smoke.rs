@@ -65,6 +65,47 @@ fn a_producer_feeds_the_runtime_and_reads_the_detection_back() {
 }
 
 #[test]
+fn metrics_scrape_over_the_wire_reconciles_with_ingest() {
+    let (service, server) = spawn_server(2);
+    let mut client = SpadeNetClient::connect(server.local_addr()).expect("connect");
+    for i in 0..50u32 {
+        client.submit(v(i % 10), v((i + 1) % 10), 1.0).unwrap();
+    }
+    // Detect waits for every acknowledged edge to be applied
+    // (read-your-acks), so the queue-wait histogram is complete after.
+    client.detect().expect("detect");
+
+    let reply = client.server_metrics().expect("metrics");
+    assert_eq!(reply.version, spade_net::METRICS_VERSION);
+    let text = &reply.exposition;
+    // Per-stage histograms: every applied edge was timed exactly once.
+    assert!(
+        text.contains("spade_stage_queue_wait_ns_count 50"),
+        "queue-wait count must equal applied updates, got:\n{text}"
+    );
+    assert!(text.contains("spade_stage_publish_ns_count"), "missing publish stage:\n{text}");
+    // Transport totals and per-connection labeled series ride along.
+    assert!(text.contains("spade_net_edges_accepted_total 50"), "net totals missing:\n{text}");
+    assert!(
+        text.contains("spade_net_connection_frames{conn=\"1\"}"),
+        "per-connection series missing:\n{text}"
+    );
+    // The runtime totals from the shard registries are merged in.
+    assert!(text.contains("spade_updates_total 50"), "updates counter missing:\n{text}");
+
+    // The extended stats reply carries uptime and live per-shard depths.
+    let stats = client.server_stats().expect("stats");
+    assert!(stats.uptime_secs > 0.0);
+    assert_eq!(stats.shard_queue_depths.len(), 2);
+    assert_eq!(stats.shard_queue_depths.iter().sum::<u64>(), stats.queue_depth);
+
+    drop(client);
+    server.shutdown();
+    let service = Arc::try_unwrap(service).unwrap_or_else(|_| panic!("service still shared"));
+    assert_eq!(service.shutdown().total_updates, 50);
+}
+
+#[test]
 fn malformed_frames_get_an_error_reply_and_do_not_kill_the_server() {
     let (service, server) = spawn_server(2);
 

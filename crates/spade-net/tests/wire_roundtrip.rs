@@ -6,7 +6,7 @@
 
 use proptest::prelude::*;
 use spade_graph::VertexId;
-use spade_net::{DetectionReply, FrameDecoder, StatsReply, WireError, WireFrame};
+use spade_net::{DetectionReply, FrameDecoder, MetricsReply, StatsReply, WireError, WireFrame};
 
 fn v(i: u32) -> VertexId {
     VertexId(i)
@@ -35,11 +35,13 @@ fn arb_frame() -> impl Strategy<Value = WireFrame> {
     let stats = (
         (0u64..100, 0u64..1 << 40, 0u64..1 << 20, 0u64..1 << 20),
         (0u64..1 << 40, 0u64..1 << 40, 0u64..1 << 30, 0u64..1 << 30),
+        (0.0f64..1e7, collection::vec(0u64..1 << 20, 0..32)),
     )
         .prop_map(
             |(
                 (shards, updates_applied, queue_depth, connections),
                 (frames, edges_accepted, busy_replies, malformed_frames),
+                (uptime_secs, shard_queue_depths),
             )| {
                 WireFrame::StatsReply(StatsReply {
                     shards,
@@ -50,9 +52,18 @@ fn arb_frame() -> impl Strategy<Value = WireFrame> {
                     edges_accepted,
                     busy_replies,
                     malformed_frames,
+                    uptime_secs,
+                    shard_queue_depths,
                 })
             },
         );
+    let metrics_reply =
+        (0u32..16, collection::vec(32u8..127, 0..400)).prop_map(|(version, raw)| {
+            WireFrame::MetricsReply(MetricsReply {
+                version,
+                exposition: String::from_utf8(raw).expect("printable ASCII"),
+            })
+        });
     prop_oneof![
         4 => edge,
         4 => batch,
@@ -60,10 +71,12 @@ fn arb_frame() -> impl Strategy<Value = WireFrame> {
         1 => Just(WireFrame::Detect),
         1 => Just(WireFrame::Stats),
         1 => Just(WireFrame::Shutdown),
+        1 => Just(WireFrame::Metrics),
         2 => (0u64..u64::MAX).prop_map(|accepted| WireFrame::Ack { accepted }),
         2 => (0u64..u64::MAX).prop_map(|accepted| WireFrame::Busy { accepted }),
         2 => detection,
         1 => stats,
+        1 => metrics_reply,
         1 => collection::vec(32u8..127, 0..100).prop_map(|raw| WireFrame::Error {
             message: String::from_utf8(raw).expect("printable ASCII"),
         }),
