@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Smoke checks over a BENCH_frontier.json latency/throughput frontier.
+
+Asserts the structural properties the SLO batch scheduler promises,
+without comparing against a committed baseline (the frontier's *shape*
+is machine-independent even when its absolute numbers are not):
+
+1. coverage — every scenario carries at least 4 budgeted points, and the
+   two reference rows (paced per-edge latency floor, unpaced cap-1024
+   throughput ceiling) are present;
+2. zero misses where feasible — no budgeted row marked `feasible: true`
+   records a single deadline miss (infeasible rows, e.g. sub-backlog
+   budgets under bursty replay, are reported but never gate);
+3. monotone frontier — within each *paced* scenario, a tighter budget
+   never buys a *higher* p99 queue wait (relative tolerance for
+   measurement noise, plus an absolute slop floor for scheduler wakeup
+   jitter on sub-millisecond rows). Bursty rows are excluded: under a
+   standing backlog the queue wait is set by the offered load, not the
+   scheduler, so p99 ordering across budgets there is replay noise —
+   the bursty contract is the throughput anchor (4b) instead;
+4. anchors — the tightest drip budget stays within 2x of the per-edge
+   reference p99 (plus the jitter slop; a budget at or under the
+   scheduler's peel margin degenerates to immediate per-edge applies,
+   so its latency must track the per-edge floor), and the loosest
+   bursty budget sustains at least 90% of the unbudgeted cap-1024
+   throughput.
+
+Usage:
+    ci/check_frontier.py BENCH_frontier.json
+"""
+
+import json
+import sys
+
+# Relative headroom for run-to-run noise in the monotonicity check.
+REL_TOL = 1.25
+# Absolute slop (ns): scheduler wakeup jitter dominates sub-millisecond
+# rows, where a pure ratio check would flake on noise.
+ABS_SLOP_NS = 500_000
+
+
+def fail(msg):
+    sys.exit(f"FAIL: {msg}")
+
+
+def main():
+    if len(sys.argv) != 2:
+        sys.exit(__doc__)
+    with open(sys.argv[1]) as f:
+        frontier = json.load(f)
+    samples = frontier["samples"]
+
+    by_scenario = {}
+    for s in samples:
+        by_scenario.setdefault(s["scenario"], []).append(s)
+
+    # 1. Coverage.
+    for scenario in ("bursty", "drip"):
+        budgeted = [s for s in by_scenario.get(scenario, []) if s["budget_us"] > 0]
+        if len(budgeted) < 4:
+            fail(f"{scenario}: only {len(budgeted)} budgeted points (need >= 4)")
+    drip_ref = next(
+        (s for s in by_scenario.get("drip", []) if s["budget_us"] == 0), None)
+    bursty_ref = next(
+        (s for s in by_scenario.get("bursty", []) if s["budget_us"] == 0), None)
+    if drip_ref is None:
+        fail("missing paced per-edge reference row (drip, budget_us=0)")
+    if bursty_ref is None:
+        fail("missing unpaced cap-1024 reference row (bursty, budget_us=0)")
+
+    # 2. Zero misses at feasible operating points.
+    for s in samples:
+        if s["budget_us"] > 0 and s["feasible"] and s["deadline_miss"] != 0:
+            fail(f"{s['scenario']} budget {s['budget_us']}us is feasible but "
+                 f"recorded {s['deadline_miss']} deadline misses")
+
+    # 3. Monotone frontier per paced scenario. Bursty rows are
+    # backlog-bound (queue wait is the offered load's, whatever the
+    # budget), so only the throughput anchor below gates them.
+    for scenario, rows in by_scenario.items():
+        if scenario == "bursty":
+            continue
+        budgeted = sorted(
+            (s for s in rows if s["budget_us"] > 0), key=lambda s: s["budget_us"])
+        for tighter, looser in zip(budgeted, budgeted[1:]):
+            bound = looser["queue_wait_p99_ns"] * REL_TOL + ABS_SLOP_NS
+            if tighter["queue_wait_p99_ns"] > bound:
+                fail(f"{scenario}: budget {tighter['budget_us']}us has p99 "
+                     f"{tighter['queue_wait_p99_ns']:,}ns, above the looser "
+                     f"{looser['budget_us']}us point's "
+                     f"{looser['queue_wait_p99_ns']:,}ns (tolerance "
+                     f"{bound:,.0f}ns) — tighter budgets must not cost tail "
+                     f"latency")
+
+    # 4a. Tightest drip budget tracks the per-edge floor (sub-margin
+    # budgets short-circuit to immediate per-edge applies).
+    budgeted_drip = sorted(
+        (s for s in by_scenario["drip"] if s["budget_us"] > 0),
+        key=lambda s: s["budget_us"])
+    tightest = budgeted_drip[0]
+    bound = 2 * drip_ref["queue_wait_p99_ns"] + ABS_SLOP_NS
+    if tightest["queue_wait_p99_ns"] > bound:
+        fail(f"tightest drip budget ({tightest['budget_us']}us) "
+             f"has p99 {tightest['queue_wait_p99_ns']:,}ns, above 2x the "
+             f"per-edge reference {drip_ref['queue_wait_p99_ns']:,}ns "
+             f"(+ slop)")
+
+    # 4b. Loosest bursty budget sustains the cap-1024 throughput.
+    bursty_budgeted = sorted(
+        (s for s in by_scenario["bursty"] if s["budget_us"] > 0),
+        key=lambda s: s["budget_us"])
+    loosest = bursty_budgeted[-1]
+    floor = 0.90 * bursty_ref["throughput_eps"]
+    if loosest["throughput_eps"] < floor:
+        fail(f"loosest bursty budget ({loosest['budget_us']}us) sustains only "
+             f"{loosest['throughput_eps']:,.0f} tx/s, below 90% of the "
+             f"unbudgeted cap-1024 reference "
+             f"{bursty_ref['throughput_eps']:,.0f} tx/s")
+
+    feasible = sum(1 for s in samples if s["budget_us"] > 0 and s["feasible"])
+    print(f"OK: {len(samples)} frontier points ({feasible} feasible budgeted), "
+          f"zero misses where feasible, paced p99 monotone in budget, "
+          f"anchors hold "
+          f"(tightest drip p99 {tightest['queue_wait_p99_ns']:,}ns vs "
+          f"per-edge {drip_ref['queue_wait_p99_ns']:,}ns; loosest bursty "
+          f"{loosest['throughput_eps']:,.0f} tx/s vs cap-1024 "
+          f"{bursty_ref['throughput_eps']:,.0f} tx/s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,6 +30,10 @@ EXPECTED_SERIES = [
     'spade_stage_queue_wait_ns{quantile="0.99"}',
     "spade_net_connections_total",
     "spade_net_edges_accepted_total",
+    # SLO scheduler series: registered at worker spawn even when no
+    # deadline is configured, so a scrape must always carry them.
+    "spade_deadline_miss_total",
+    "spade_deadline_slack_ns_count",
 ]
 
 

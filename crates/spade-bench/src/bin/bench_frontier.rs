@@ -1,0 +1,418 @@
+//! The p99-latency-vs-throughput frontier of the SLO batch scheduler.
+//!
+//! Sweeps detection-latency budgets over three traffic shapes against a
+//! single [`SpadeService`] (the per-shard hot path):
+//!
+//! * **bursty** — unpaced full-backlog replay at coalesce 1024. Under a
+//!   standing backlog the spring push never waits, so every budget point
+//!   sustains the cap-1024 throughput; queue waits are backlog-bound and
+//!   tight budgets record misses. These points are marked
+//!   `feasible: false` — the offered load exceeds what any scheduler
+//!   could serve inside a sub-backlog budget.
+//! * **drip** — paced open-loop arrivals well under capacity, budget
+//!   taken from [`IngestConfig::deadline`] (the configured default).
+//!   Queue wait tracks `budget − margin`: the scheduler holds batches
+//!   open exactly as long as the slackest in-queue budget allows, so
+//!   tighter budgets buy lower p99 monotonically, with zero misses.
+//! * **mixed** — the same pacing with per-transaction budgets
+//!   alternating tight/loose through
+//!   [`SpadeService::submit_with_budget`]: the batch boundary follows
+//!   the *tightest* staged budget, so both classes meet their SLO.
+//!
+//! Reference rows (`budget_us: 0`) anchor the frontier: a paced
+//! per-edge (coalesce 1) run for the latency floor and an unpaced
+//! cap-1024 run for the throughput ceiling.
+//!
+//! Each paced run carries a concurrent [`StallProbe`]: the zero-miss
+//! contract binds the *scheduler*, so a row measured while the platform
+//! froze threads for longer than the row can absorb (the spring push
+//! reserves [`SCHED_SLACK`]; sub-margin budgets only cover their own
+//! dequeue) is demoted to `feasible: false` rather than letting host
+//! noise flap the gate.
+//!
+//! Writes `BENCH_frontier.json` (see `--out`) and prints a table.
+//! `--smoke` (or `SPADE_QUICK=1`) shrinks the workload for CI.
+//!
+//! `cargo run -p spade-bench --release --bin bench_frontier [-- --smoke]`
+
+use spade_core::metric::WeightedDensity;
+use spade_core::service::{metric_names, SCHED_SLACK};
+use spade_core::stream::StreamEdge;
+use spade_core::{IngestConfig, ServiceStats, SpadeEngine, SpadeService};
+use spade_gen::fraud::{FraudInjector, FraudInjectorConfig};
+use spade_gen::transactions::{TransactionStream, TransactionStreamConfig};
+use spade_metrics::{MetricsSnapshot, Table};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One measured operating point on the frontier.
+struct Sample {
+    scenario: &'static str,
+    /// Budget in microseconds; 0 = no budget (reference row).
+    budget_us: u64,
+    /// Whether the offered load is feasible for this budget — the rows
+    /// the zero-miss acceptance gate applies to.
+    feasible: bool,
+    coalesce: usize,
+    edges: usize,
+    elapsed_us: f64,
+    /// Worst platform scheduling stall the probe observed during the
+    /// run (zero for unpaced rows, which run without a probe).
+    sched_stall: Duration,
+    stats: ServiceStats,
+    metrics: MetricsSnapshot,
+}
+
+impl Sample {
+    fn throughput_eps(&self) -> f64 {
+        self.edges as f64 / (self.elapsed_us / 1e6).max(1e-9)
+    }
+
+    fn stage_q(&self, name: &str, q: f64) -> u64 {
+        self.metrics.histograms.get(name).map_or(0, |h| h.quantile(q))
+    }
+}
+
+/// Same benign-heavy marketplace workload as `bench_ingest`, so the
+/// frontier and the throughput trajectory describe the same traffic.
+fn workload(smoke: bool) -> Vec<StreamEdge> {
+    let scale = if smoke { 0.1 } else { 1.0 };
+    let base = TransactionStream::generate(&TransactionStreamConfig {
+        customers: ((4_000.0 * scale) as usize).max(150),
+        merchants: ((1_200.0 * scale) as usize).max(50),
+        transactions: ((20_000.0 * scale) as usize).max(1_000),
+        seed: 0x1465,
+        ..Default::default()
+    });
+    let injected = FraudInjector::inject(
+        &base,
+        &FraudInjectorConfig {
+            instances_per_pattern: 2,
+            transactions_per_instance: ((400.0 * scale) as usize).max(60),
+            amount: 250.0,
+            ..Default::default()
+        },
+    );
+    injected.edges
+}
+
+fn spawn_service(coalesce: usize, deadline: Option<Duration>) -> SpadeService {
+    SpadeService::spawn_with(
+        SpadeEngine::new(WeightedDensity),
+        None,
+        IngestConfig { queue_capacity: 4096, coalesce, deadline },
+        "frontier-bench".into(),
+    )
+}
+
+/// Polls until the worker has applied `target` updates (bounded so a
+/// stalled worker aborts instead of hanging CI).
+fn drain_to(service: &SpadeService, target: u64) -> ServiceStats {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let stats = service.stats();
+        if stats.updates_applied >= target {
+            return stats;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "worker stalled at {}/{target} updates",
+            stats.updates_applied
+        );
+        std::thread::yield_now();
+    }
+}
+
+/// Unpaced full-backlog replay (the throughput end of the frontier).
+fn run_bursty(edges: &[StreamEdge], budget: Option<Duration>) -> Sample {
+    let service = spawn_service(1024, budget);
+    let started = Instant::now();
+    for e in edges {
+        assert!(service.submit(e.src, e.dst, e.raw));
+    }
+    // End of stream: flush so the final partial batch is not held to its
+    // budget boundary (a real producer closes its stream the same way).
+    // Mid-run scheduling is untouched — under a standing backlog the
+    // spring push never waits anyway.
+    assert!(service.flush());
+    let stats = drain_to(&service, edges.len() as u64);
+    let elapsed_us = started.elapsed().as_secs_f64() * 1e6;
+    let metrics = service.metrics();
+    service.shutdown();
+    Sample {
+        scenario: "bursty",
+        budget_us: budget.map_or(0, |b| b.as_micros() as u64),
+        // A standing backlog is not a feasible operating point for a
+        // sub-backlog budget: misses here are the offered load's fault.
+        feasible: false,
+        coalesce: 1024,
+        edges: edges.len(),
+        elapsed_us,
+        sched_stall: Duration::ZERO,
+        stats,
+        metrics,
+    }
+}
+
+/// Measures platform scheduling stalls concurrently with a paced run:
+/// an independent sleeper wakes every 200us and records its worst
+/// oversleep. On a host whose OS preempts threads for longer than the
+/// scheduler's [`SCHED_SLACK`] reserve, a budgeted batch can miss its
+/// deadline through no fault of the batch boundary — the probe detects
+/// exactly those windows (a CPU-wide freeze spans the sleeper's next
+/// wake too) *without ever looking at the miss counters*, so rows run
+/// under a stall bigger than they can absorb are demoted to
+/// `feasible: false` instead of flapping the zero-miss gate.
+struct StallProbe {
+    stop: Arc<AtomicBool>,
+    worst_ns: Arc<AtomicU64>,
+    handle: std::thread::JoinHandle<()>,
+}
+
+impl StallProbe {
+    fn start() -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let worst_ns = Arc::new(AtomicU64::new(0));
+        let (stop2, worst2) = (Arc::clone(&stop), Arc::clone(&worst_ns));
+        let handle = std::thread::spawn(move || {
+            let tick = Duration::from_micros(200);
+            while !stop2.load(Ordering::Relaxed) {
+                let slept = Instant::now();
+                std::thread::sleep(tick);
+                let over = slept.elapsed().saturating_sub(tick);
+                worst2.fetch_max(over.as_nanos() as u64, Ordering::Relaxed);
+            }
+        });
+        Self { stop, worst_ns, handle }
+    }
+
+    fn finish(self) -> Duration {
+        self.stop.store(true, Ordering::Relaxed);
+        let _ = self.handle.join();
+        Duration::from_nanos(self.worst_ns.load(Ordering::Relaxed))
+    }
+}
+
+/// The biggest probe-measured stall a budgeted row may run under and
+/// still claim feasibility. A held batch absorbs stalls up to the peel
+/// margin (at least [`SCHED_SLACK`]); a sub-margin budget degrades to
+/// immediate applies and absorbs up to the budget itself. The probe
+/// under-reports a freeze by at most its 200us tick, so judging at 4/5
+/// keeps the invariant that a row left feasible *could not* have missed
+/// given the worst platform behavior actually measured.
+fn stall_tolerance(budget: Duration) -> Duration {
+    budget.min(SCHED_SLACK) * 4 / 5
+}
+
+/// Paced open-loop arrivals at `pace` inter-arrival time; per-edge
+/// budgets come from `budget_of` (`None` entries inherit the configured
+/// default, which `deadline` sets for the whole run).
+fn run_paced(
+    scenario: &'static str,
+    edges: &[StreamEdge],
+    pace: Duration,
+    coalesce: usize,
+    deadline: Option<Duration>,
+    budget_us: u64,
+    budget_of: impl Fn(usize) -> Option<Duration>,
+) -> Sample {
+    let service = spawn_service(coalesce, deadline);
+    let probe = StallProbe::start();
+    let started = Instant::now();
+    let mut next = started;
+    for (i, e) in edges.iter().enumerate() {
+        // Sleep-based pacing: on a small machine the producer and the
+        // worker share cores, and a spin-wait pacer would starve the
+        // worker into multi-millisecond stalls that have nothing to do
+        // with the scheduler. Sleep overshoot only slows the offered
+        // rate, which the throughput column reports honestly.
+        let now = Instant::now();
+        if let Some(gap) = next.checked_duration_since(now) {
+            std::thread::sleep(gap);
+            next += pace;
+        } else {
+            // The pacer fell behind (sleep overshot by more than one
+            // interval). Skip the missed arrivals instead of submitting
+            // a catch-up burst — a burst measures the producer's own
+            // scheduling hiccup as queue wait and poisons the tail.
+            next = now + pace;
+        }
+        assert!(service.submit_with_budget(e.src, e.dst, e.raw, budget_of(i)));
+    }
+    let stats = drain_to(&service, edges.len() as u64);
+    let elapsed_us = started.elapsed().as_secs_f64() * 1e6;
+    let sched_stall = probe.finish();
+    let metrics = service.metrics();
+    service.shutdown();
+    Sample {
+        scenario,
+        budget_us,
+        feasible: true,
+        coalesce,
+        edges: edges.len(),
+        elapsed_us,
+        sched_stall,
+        stats,
+        metrics,
+    }
+}
+
+fn write_json(path: &str, edges: usize, samples: &[Sample]) -> std::io::Result<()> {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"bench\": \"frontier\",");
+    let _ = writeln!(out, "  \"workload_edges\": {edges},");
+    let _ = writeln!(out, "  \"samples\": [");
+    for (i, s) in samples.iter().enumerate() {
+        let comma = if i + 1 < samples.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"scenario\": \"{}\", \"budget_us\": {}, \"feasible\": {}, \
+             \"coalesce\": {}, \"edges\": {}, \"elapsed_us\": {:.1}, \
+             \"throughput_eps\": {:.1}, \"deadline_miss\": {}, \
+             \"sched_stall_ns\": {}, \
+             \"queue_wait_p50_ns\": {}, \"queue_wait_p99_ns\": {}, \
+             \"slack_p50_ns\": {}, \"batch_p99\": {}}}{comma}",
+            s.scenario,
+            s.budget_us,
+            s.feasible,
+            s.coalesce,
+            s.edges,
+            s.elapsed_us,
+            s.throughput_eps(),
+            s.stats.deadline_miss,
+            s.sched_stall.as_nanos(),
+            s.stage_q(metric_names::STAGE_QUEUE_WAIT_NS, 0.50),
+            s.stage_q(metric_names::STAGE_QUEUE_WAIT_NS, 0.99),
+            s.stage_q(metric_names::DEADLINE_SLACK_NS, 0.50),
+            s.stage_q(metric_names::COALESCE_BATCH_SIZE, 0.99),
+        );
+    }
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+    std::fs::write(path, out)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke") || std::env::var_os("SPADE_QUICK").is_some();
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_frontier.json".to_string());
+
+    let edges = workload(smoke);
+    println!(
+        "frontier bench: {} edges ({}), budgets swept per scenario\n",
+        edges.len(),
+        if smoke { "smoke" } else { "full" },
+    );
+
+    let budgets = [
+        Duration::from_micros(200),
+        Duration::from_millis(1),
+        Duration::from_millis(5),
+        Duration::from_millis(20),
+    ];
+
+    let mut samples = Vec::new();
+
+    // Throughput ceiling reference, then the budget sweep under backlog.
+    samples.push(run_bursty(&edges, None));
+    for &b in &budgets {
+        samples.push(run_bursty(&edges, Some(b)));
+    }
+
+    // Paced open-loop traffic: comfortably feasible offered load (the
+    // drip cap keeps the paced runs shorter than the replay). The pace
+    // must sit well under the worst-case per-edge service time (~55us on
+    // a single shared core with the full workload's graph) — an
+    // overloaded "paced" run measures backlog growth, not the scheduler,
+    // and poisons the reference row the feasibility floor is cut from.
+    let pace = Duration::from_micros(150);
+    let drip_cap = edges.len().min(if smoke { 2_000 } else { 10_000 });
+    let paced = &edges[..drip_cap];
+
+    // Latency floor reference: per-edge, no budget. Its p99 queue wait
+    // is the platform's dequeue-jitter floor — a budget below a few
+    // multiples of it cannot be guaranteed by ANY scheduler on this
+    // machine, so such points are reported but marked infeasible.
+    let reference = run_paced("drip", paced, pace, 1, None, 0, |_| None);
+    let jitter_floor =
+        Duration::from_nanos(reference.stage_q(metric_names::STAGE_QUEUE_WAIT_NS, 0.99)) * 4;
+    println!(
+        "paced per-edge reference: p99 queue wait {:.1}us -> feasibility floor {:.1}us\n",
+        jitter_floor.as_nanos() as f64 / 4e3,
+        jitter_floor.as_nanos() as f64 / 1e3,
+    );
+    samples.push(reference);
+    for &b in &budgets {
+        let mut s = run_paced("drip", paced, pace, 256, Some(b), b.as_micros() as u64, |_| None);
+        s.feasible = b >= jitter_floor && s.sched_stall < stall_tolerance(b);
+        samples.push(s);
+    }
+
+    // Mixed per-transaction budgets: alternate tight/loose; the row is
+    // keyed by the tight class since the batch boundary follows it.
+    let loose = Duration::from_millis(20);
+    for &t in &[Duration::from_millis(1), Duration::from_millis(5)] {
+        let mut s = run_paced("mixed", paced, pace, 256, None, t.as_micros() as u64, move |i| {
+            Some(if i % 2 == 0 { t } else { loose })
+        });
+        s.feasible = t >= jitter_floor && s.sched_stall < stall_tolerance(t);
+        samples.push(s);
+    }
+
+    let mut table = Table::new([
+        "scenario",
+        "budget",
+        "feasible",
+        "edges",
+        "tx/s",
+        "q-wait p50",
+        "q-wait p99",
+        "misses",
+        "stall max",
+        "batch p99",
+    ]);
+    for s in &samples {
+        table.row([
+            s.scenario.to_string(),
+            if s.budget_us == 0 {
+                "none".to_string()
+            } else {
+                format!("{:.1}ms", s.budget_us as f64 / 1e3)
+            },
+            s.feasible.to_string(),
+            s.edges.to_string(),
+            format!("{:.0}", s.throughput_eps()),
+            format!("{:.1}us", s.stage_q(metric_names::STAGE_QUEUE_WAIT_NS, 0.50) as f64 / 1e3),
+            format!("{:.1}us", s.stage_q(metric_names::STAGE_QUEUE_WAIT_NS, 0.99) as f64 / 1e3),
+            s.stats.deadline_miss.to_string(),
+            format!("{:.1}us", s.sched_stall.as_nanos() as f64 / 1e3),
+            s.stage_q(metric_names::COALESCE_BATCH_SIZE, 0.99).to_string(),
+        ]);
+    }
+    table.print();
+
+    // Feasible operating points serve every transaction inside its
+    // budget — the zero-miss half of the frontier contract.
+    for s in samples.iter().filter(|s| s.feasible && s.budget_us > 0) {
+        assert_eq!(
+            s.stats.deadline_miss, 0,
+            "{} budget {}us: {} deadline misses under feasible load",
+            s.scenario, s.budget_us, s.stats.deadline_miss
+        );
+    }
+
+    match write_json(&out_path, edges.len(), &samples) {
+        Ok(()) => println!("frontier written to {out_path}"),
+        Err(e) => {
+            eprintln!("error: cannot write {out_path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -86,7 +86,7 @@ fn spawn_service(coalesce: usize) -> SpadeService {
     SpadeService::spawn_with(
         SpadeEngine::new(WeightedDensity),
         None,
-        IngestConfig { queue_capacity: 4096, coalesce },
+        IngestConfig { queue_capacity: 4096, coalesce, deadline: None },
         format!("ingest-bench-{coalesce}"),
     )
 }
@@ -255,6 +255,29 @@ fn main() {
             fast.throughput_eps() / base.throughput_eps().max(1e-9),
             fast.throughput_eps(),
             base.throughput_eps(),
+        );
+    }
+
+    // Drip parity: with no backlog every drain is a single command, and
+    // the worker short-circuits it onto the per-edge path — a high
+    // coalesce cap must cost (essentially) nothing. Guard the fix with a
+    // loose bound so noise doesn't flake CI but a real regression (the
+    // old batch-path overhead was ~8%) fails loudly.
+    let drip_base = samples.iter().find(|s| s.scenario == "drip" && s.coalesce == 1);
+    let drip_coalesced = samples.iter().find(|s| s.scenario == "drip" && s.coalesce == 256);
+    if let (Some(base), Some(capped)) = (drip_base, drip_coalesced) {
+        let ratio = base.throughput_eps() / capped.throughput_eps().max(1e-9);
+        println!(
+            "drip parity: coalesce=256 runs at {:.2}x the per-edge cost \
+             ({:.0} vs {:.0} tx/s)",
+            ratio,
+            capped.throughput_eps(),
+            base.throughput_eps(),
+        );
+        assert!(
+            ratio < 1.35,
+            "drip regression: coalesce=256 is {ratio:.2}x slower than per-edge \
+             (single-command drains must take the per-edge short circuit)"
         );
     }
 

@@ -84,13 +84,13 @@ USAGE:
   spade stream   <edges.txt> [--metric dg|dw|fd] [--initial 0.9]
                  [--batch N | --grouping]
   spade serve    <edges.txt> [--shards N] [--metric dg|dw|fd] [--grouping]
-                 [--queue N] [--coalesce N]
+                 [--queue N] [--coalesce N] [--deadline-ms F]
                  [--partition hash|connectivity|conn:<max_component>]
                  [--top N] [--repair] [--repair-hops K] [--rebalance]
   spade serve    --listen <addr> [--shards N] [--metric dg|dw|fd]
                  [--metrics <addr>] [...]
   spade ingest   <addr> <edges.txt> [--batch N] [--pipeline N]
-                 [--detect] [--stats] [--shutdown]
+                 [--deadline-ms F] [--detect] [--stats] [--shutdown]
   spade watch    <addr> [--interval ms] [--count N]
   spade gen      [--dataset Grab1] [--scale 0.01] [--seed 42] [--out FILE]
   spade snapshot <edges.txt> --out FILE [--metric dg|dw|fd]
@@ -104,7 +104,14 @@ communities (overlapping shard views of one split community are deduped).
 `detect --shards N` routes the same static input through N shards instead
 of one engine. `--coalesce N` caps how many queued transactions a shard
 worker drains and applies as one batch per wake-up (default 256; 1 =
-per-edge processing). `--partition` picks the routing policy
+per-edge processing). `--deadline-ms F` sets a per-transaction detection
+latency budget (fractional ms allowed): shard workers then schedule
+batch boundaries so every queued transaction is applied within its
+budget — prefer it over tuning `--coalesce` directly. On `ingest` the
+same flag stamps the budget onto every frame so the server paces those
+edges; misses and remaining slack are exported as
+`spade_deadline_miss_total` / `spade_deadline_slack_ns` and shown in
+`spade watch`. `--partition` picks the routing policy
 (`--partitioner` is accepted as an alias); `conn:<max_component>` sets
 the connectivity policy's spill bound explicitly. `--repair` runs the
 cross-shard repair pass after the replay: every shard exports its
@@ -180,6 +187,17 @@ fn print_communities<M: DensityMetric>(engine: &mut SpadeEngine<M>, top: usize) 
     table.print();
 }
 
+/// `--deadline-ms F`: the per-transaction detection-latency budget for
+/// the SLO batch scheduler (fractional milliseconds allowed; 0 or absent
+/// means unbudgeted drain-coalesce).
+fn deadline_from(args: &Args) -> Result<Option<Duration>, AnyError> {
+    let ms = args.num_opt("deadline-ms", 0.0f64)?;
+    if ms < 0.0 || !ms.is_finite() {
+        return Err("--deadline-ms must be a non-negative number of milliseconds".into());
+    }
+    Ok((ms > 0.0).then(|| Duration::from_secs_f64(ms / 1e3)))
+}
+
 /// Builds a [`ShardedConfig`] from the shared `--shards`, `--queue`,
 /// `--partition` (alias `--partitioner`) and `--grouping` options.
 fn sharded_config_from(args: &Args, shards: usize) -> Result<ShardedConfig, AnyError> {
@@ -201,6 +219,7 @@ fn sharded_config_from(args: &Args, shards: usize) -> Result<ShardedConfig, AnyE
         shards,
         queue_capacity: args.num_opt("queue", 1024usize)?.max(1),
         coalesce: args.num_opt("coalesce", ShardedConfig::default().coalesce)?.max(1),
+        deadline: deadline_from(args)?,
         grouping: args.flag("grouping").then(GroupingConfig::default),
         strategy,
         top_k: shards,
@@ -450,6 +469,9 @@ pub fn ingest(args: &Args) -> Result<(), AnyError> {
     let config = ClientConfig {
         batch: args.num_opt("batch", ClientConfig::default().batch)?.max(1),
         pipeline: args.num_opt("pipeline", ClientConfig::default().pipeline)?.max(1),
+        // Attach a per-transaction budget to every frame (BatchBudget,
+        // protocol v2) so the server's SLO scheduler paces these edges.
+        budget: deadline_from(args)?,
         ..Default::default()
     };
     let mut client = SpadeNetClient::connect_with(addr, config)
@@ -546,6 +568,8 @@ pub fn watch(args: &Args) -> Result<(), AnyError> {
         "busy",
         "q-wait p50/p99 us",
         "publish p50/p99 us",
+        "ddl miss",
+        "slack p50/p99 us",
     ];
     let mut tick = 0u64;
     loop {
@@ -558,6 +582,10 @@ pub fn watch(args: &Args) -> Result<(), AnyError> {
             let p99 = exposition_sample(&m.exposition, &format!("{name}{{quantile=\"0.99\"}}"));
             format!("{}/{}", fmt_latency_us(p50), fmt_latency_us(p99))
         };
+        // SLO columns: budgeted traffic shows its miss count and the
+        // remaining-headroom distribution; unbudgeted traffic shows 0/-.
+        let misses = exposition_sample(&m.exposition, "spade_deadline_miss_total")
+            .map_or("-".to_string(), |v| format!("{v:.0}"));
         let mut table = Table::new(headers);
         table.row([
             tick.to_string(),
@@ -568,6 +596,8 @@ pub fn watch(args: &Args) -> Result<(), AnyError> {
             s.busy_replies.to_string(),
             quantiles("spade_stage_queue_wait_ns"),
             quantiles("spade_stage_publish_ns"),
+            misses,
+            quantiles("spade_deadline_slack_ns"),
         ]);
         table.print();
         if count != 0 && tick >= count {
@@ -874,6 +904,9 @@ mod tests {
         serve(&args(&format!("serve {path} --shards 4 --metric dw"))).unwrap();
         serve(&args(&format!("serve {path} --shards 2 --partitioner hash --grouping"))).unwrap();
         serve(&args(&format!("serve {path} --shards 2 --coalesce 1"))).unwrap();
+        serve(&args(&format!("serve {path} --shards 2 --deadline-ms 20"))).unwrap();
+        serve(&args(&format!("serve {path} --shards 2 --deadline-ms 0.5"))).unwrap();
+        assert!(serve(&args(&format!("serve {path} --shards 2 --deadline-ms -1"))).is_err());
     }
 
     #[test]
@@ -999,7 +1032,8 @@ mod tests {
         // server alive for the scrape + watch below.
         let mut attempts = 0;
         loop {
-            match ingest(&args(&format!("ingest {addr} {path} --batch 4 --stats"))) {
+            match ingest(&args(&format!("ingest {addr} {path} --batch 4 --deadline-ms 50 --stats")))
+            {
                 Ok(()) => break,
                 Err(_) if attempts < 100 => {
                     attempts += 1;
@@ -1021,6 +1055,10 @@ mod tests {
             "spade_stage_publish_ns_count",
             "spade_updates_total",
             "spade_net_edges_accepted_total",
+            // The budgeted ingest above exercised the SLO scheduler: its
+            // miss counter and slack histogram ride every scrape.
+            "spade_deadline_miss_total",
+            "spade_deadline_slack_ns_count",
         ] {
             assert!(response.contains(series), "missing {series} in:\n{response}");
         }

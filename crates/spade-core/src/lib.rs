@@ -33,9 +33,9 @@ pub use service::{
     SpadeService, TrySubmit,
 };
 pub use shard::{
-    GlobalDetection, MigrationPolicy, MigrationReport, MigrationStats, PartitionStrategy,
-    Partitioner, RepairConfig, RepairStats, RepairedDetection, ShardStats, ShardedConfig,
-    ShardedSpadeService, StrandEvent,
+    BatchSubmit, GlobalDetection, MigrationPolicy, MigrationReport, MigrationStats,
+    PartitionStrategy, Partitioner, RepairConfig, RepairStats, RepairedDetection, ShardStats,
+    ShardedConfig, ShardedSpadeService, StrandEvent,
 };
 pub use spade::{Spade, SpadeBuilder};
 pub use state::{Detection, PeelingState};

@@ -52,7 +52,7 @@ use std::any::Any;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Registry names of the per-stage metrics one worker records. Public
 /// so front ends (sharded runtime, benches, the CLI) can look up the
@@ -85,6 +85,12 @@ pub mod metric_names {
     pub const QUEUE_DEPTH: &str = "spade_queue_depth";
     /// Gauge: directed edges resident in the worker's graph.
     pub const EDGES_RESIDENT: &str = "spade_edges_resident";
+    /// Counter: budgeted transactions applied after their latency
+    /// budget had already elapsed.
+    pub const DEADLINE_MISS_TOTAL: &str = "spade_deadline_miss_total";
+    /// Histogram: remaining latency budget when a budgeted transaction
+    /// reached the engine, nanoseconds (misses record zero slack).
+    pub const DEADLINE_SLACK_NS: &str = "spade_deadline_slack_ns";
 }
 
 /// Ingest tuning knobs of a [`SpadeService`] worker.
@@ -98,11 +104,22 @@ pub struct IngestConfig {
     /// burst without delaying anything — the worker never *waits* for a
     /// batch to fill, it only drains what is already queued.
     pub coalesce: usize,
+    /// Default per-transaction detection-latency budget (the SLO
+    /// deadline), applied to every submit that does not carry an
+    /// explicit budget. When budgeted transactions are staged and the
+    /// queue runs dry, the worker *spring-pushes* the batch boundary:
+    /// instead of applying immediately it waits for more work until the
+    /// earliest staged budget would be at risk (arrival + budget − a
+    /// peel-cost margin from the live reorder histogram), so loose
+    /// budgets buy bigger batches and tight budgets degrade gracefully
+    /// to per-edge latency. `None` (the default) reproduces today's
+    /// drain-coalesce behavior bit-exactly: the worker never waits.
+    pub deadline: Option<Duration>,
 }
 
 impl Default for IngestConfig {
     fn default() -> Self {
-        IngestConfig { queue_capacity: 1024, coalesce: 256 }
+        IngestConfig { queue_capacity: 1024, coalesce: 256, deadline: None }
     }
 }
 
@@ -207,8 +224,16 @@ pub struct AbsorbReceipt {
 enum Command {
     /// One transaction, stamped with its ingest time at `submit` /
     /// frame-decode so the worker can attribute queueing latency
-    /// (Eq. 4's dominant term per §5.2) to the wait itself.
-    Insert { src: VertexId, dst: VertexId, raw: f64, queued: Instant },
+    /// (Eq. 4's dominant term per §5.2) to the wait itself, plus its
+    /// optional detection-latency budget (drives the spring-push batch
+    /// boundary and deadline-miss accounting).
+    Insert { src: VertexId, dst: VertexId, raw: f64, queued: Instant, budget: Option<Duration> },
+    /// A whole run of transactions sharing one arrival stamp and budget
+    /// — the shard-grouped fast path: a decoded network frame becomes
+    /// one channel operation per destination shard instead of one per
+    /// edge. The worker feeds each edge through the same per-edge
+    /// accounting as `Insert`.
+    InsertBatch { edges: Vec<(VertexId, VertexId, f64)>, queued: Instant, budget: Option<Duration> },
     /// Apply any buffered benign edges now.
     Flush,
     /// Export the current detection plus a `hops`-hop frontier subgraph.
@@ -257,6 +282,10 @@ struct WorkerMetrics {
     queue_depth: Arc<Gauge>,
     /// Directed edges resident in the worker's graph.
     edges_resident: Arc<Gauge>,
+    /// Budgeted transactions applied after their budget elapsed.
+    deadline_miss: Arc<Counter>,
+    /// Remaining budget at apply time (ns); misses record zero.
+    deadline_slack_ns: Arc<Histogram>,
 }
 
 impl WorkerMetrics {
@@ -274,6 +303,8 @@ impl WorkerMetrics {
             batch_size: registry.histogram(n::COALESCE_BATCH_SIZE),
             queue_depth: registry.gauge(n::QUEUE_DEPTH),
             edges_resident: registry.gauge(n::EDGES_RESIDENT),
+            deadline_miss: registry.counter(n::DEADLINE_MISS_TOTAL),
+            deadline_slack_ns: registry.histogram(n::DEADLINE_SLACK_NS),
             registry,
         }
     }
@@ -292,6 +323,13 @@ struct SharedDetection {
     /// attempt — the migration scheduler's size signal for choosing a
     /// move target.
     edges_resident: AtomicU64,
+    /// Edges queued beyond their command count: each `InsertBatch` holds
+    /// one channel slot but carries many edges, and back-pressure must
+    /// stay edge-denominated — `queue_free` subtracts this surplus so a
+    /// stream of batched frames cannot buffer unboundedly more edges
+    /// than `queue_capacity`. Incremented by `submit_batch` before the
+    /// send, decremented by the worker on receipt.
+    batched_backlog: AtomicU64,
 }
 
 /// Point-in-time statistics of a running [`SpadeService`].
@@ -314,6 +352,9 @@ pub struct ServiceStats {
     pub skipped_unchanged: u64,
     /// Malformed transactions dropped by the worker.
     pub rejected: u64,
+    /// Budgeted transactions applied after their latency budget had
+    /// already elapsed.
+    pub deadline_miss: u64,
     /// Directed edges resident in the worker's graph at the last publish
     /// attempt (accumulated pairs count once). The sharded migration
     /// scheduler breaks windowed-load ties toward the shard holding the
@@ -347,6 +388,11 @@ pub struct SpadeService {
     sender: Sender<Command>,
     shared: Arc<SharedDetection>,
     metrics: Arc<WorkerMetrics>,
+    /// Budget stamped onto submits that carry none ([`IngestConfig::deadline`]).
+    default_budget: Option<Duration>,
+    /// Bound of the ingest channel — kept here so batch submitters can
+    /// compute free slots (the channel itself only exposes `len`).
+    queue_capacity: usize,
     /// The worker hands its engine back through here on exit, so callers
     /// can recover it (snapshotting, equivalence tests) after a drain.
     engine_back: Receiver<Box<dyn Any + Send>>,
@@ -410,15 +456,39 @@ impl SpadeService {
                 )
             })
             .expect("failed to spawn detector thread");
-        SpadeService { sender, shared, metrics, engine_back, worker: Some(worker) }
+        SpadeService {
+            sender,
+            shared,
+            metrics,
+            default_budget: ingest.deadline,
+            queue_capacity: ingest.queue_capacity.max(1),
+            engine_back,
+            worker: Some(worker),
+        }
     }
 
     /// Enqueues one transaction; blocks when the ingest queue is full
     /// (back-pressure). Returns `false` if the service has shut down.
     /// The command is stamped with its ingest time here, so the worker
-    /// can report submit → drain queueing latency.
+    /// can report submit → apply queueing latency, and carries the
+    /// service's default latency budget (if any).
     pub fn submit(&self, src: VertexId, dst: VertexId, raw: f64) -> bool {
-        self.sender.send(Command::Insert { src, dst, raw, queued: Instant::now() }).is_ok()
+        self.submit_with_budget(src, dst, raw, None)
+    }
+
+    /// [`submit`](Self::submit) with an explicit detection-latency
+    /// budget. `None` falls back to [`IngestConfig::deadline`]; a budget
+    /// (either way) lets the worker spring-push the batch boundary and
+    /// drives deadline-miss accounting.
+    pub fn submit_with_budget(
+        &self,
+        src: VertexId,
+        dst: VertexId,
+        raw: f64,
+        budget: Option<Duration>,
+    ) -> bool {
+        let budget = budget.or(self.default_budget);
+        self.sender.send(Command::Insert { src, dst, raw, queued: Instant::now(), budget }).is_ok()
     }
 
     /// Non-blocking [`submit`](Self::submit): enqueues only if the queue
@@ -426,11 +496,74 @@ impl SpadeService {
     /// lock is never held across a back-pressure wait; network front ends
     /// use it to answer Busy instead of stalling a connection handler.
     pub fn try_submit(&self, src: VertexId, dst: VertexId, raw: f64) -> TrySubmit {
-        match self.sender.try_send(Command::Insert { src, dst, raw, queued: Instant::now() }) {
+        self.try_submit_with_budget(src, dst, raw, None)
+    }
+
+    /// Non-blocking [`submit_with_budget`](Self::submit_with_budget).
+    pub fn try_submit_with_budget(
+        &self,
+        src: VertexId,
+        dst: VertexId,
+        raw: f64,
+        budget: Option<Duration>,
+    ) -> TrySubmit {
+        let budget = budget.or(self.default_budget);
+        match self.sender.try_send(Command::Insert {
+            src,
+            dst,
+            raw,
+            queued: Instant::now(),
+            budget,
+        }) {
             Ok(()) => TrySubmit::Queued,
             Err(TrySendError::Full(_)) => TrySubmit::Full,
             Err(TrySendError::Disconnected(_)) => TrySubmit::Closed,
         }
+    }
+
+    /// Enqueues a whole run of transactions as **one** channel operation
+    /// (one queue slot), sharing a single arrival stamp and budget. This
+    /// is the shard-grouped fast path: a decoded 512-edge frame costs one
+    /// send per destination shard instead of 512. Blocks when the queue
+    /// is full; returns `false` if the service has shut down. An empty
+    /// run is a no-op. `budget: None` falls back to the service default.
+    pub fn submit_batch(
+        &self,
+        edges: Vec<(VertexId, VertexId, f64)>,
+        budget: Option<Duration>,
+    ) -> bool {
+        if edges.is_empty() {
+            return true;
+        }
+        let budget = budget.or(self.default_budget);
+        // The surplus is published BEFORE the send so a concurrent
+        // `queue_free` never under-counts; the worker's decrement
+        // happens-after the send, so the counter cannot go negative.
+        let surplus = (edges.len() - 1) as u64;
+        self.shared.batched_backlog.fetch_add(surplus, Ordering::Relaxed);
+        let sent = self
+            .sender
+            .send(Command::InsertBatch { edges, queued: Instant::now(), budget })
+            .is_ok();
+        if !sent {
+            self.shared.batched_backlog.fetch_sub(surplus, Ordering::Relaxed);
+        }
+        sent
+    }
+
+    /// Bound of the ingest channel.
+    pub fn queue_capacity(&self) -> usize {
+        self.queue_capacity
+    }
+
+    /// Edge-denominated queue slots free right now: capacity minus
+    /// queued commands minus the surplus edges carried by queued batch
+    /// commands. Advisory: other producers may race; batch submitters
+    /// combine it with a routing lock (the sharded runtime) or accept
+    /// the bounded slack.
+    pub fn queue_free(&self) -> usize {
+        let backlog = self.shared.batched_backlog.load(Ordering::Relaxed) as usize;
+        self.queue_capacity.saturating_sub(self.sender.len().saturating_add(backlog))
     }
 
     /// Asks the worker to flush any buffered benign edges.
@@ -516,6 +649,7 @@ impl SpadeService {
             publishes: self.metrics.publishes.get(),
             skipped_unchanged: self.metrics.skipped_unchanged.get(),
             rejected: self.metrics.rejected.get(),
+            deadline_miss: self.metrics.deadline_miss.get(),
             edges_resident: self.shared.edges_resident.load(Ordering::Acquire),
             detection_size: det.size,
             detection_density: det.density,
@@ -581,6 +715,14 @@ impl Drop for SpadeService {
 /// The loop blocks on the first command of a run, then drains whatever
 /// else is already queued (up to the coalesce cap) and applies the whole
 /// run through the batch path: one reorder pass, one publish attempt.
+///
+/// With latency budgets in play the drain becomes an event-driven wait:
+/// when the queue runs dry while budgeted transactions are staged, the
+/// worker spring-pushes the batch boundary — it sleeps on the channel
+/// until either new work arrives or the earliest staged deadline (minus
+/// a peel-cost margin estimated from the live reorder histogram) would
+/// be at risk, whichever comes first. Budget-free runs never wait, so
+/// the no-budget path is bit-identical to plain drain-coalescing.
 fn worker_loop<M: DensityMetric + Send + 'static>(
     mut engine: SpadeEngine<M>,
     grouping: Option<GroupingConfig>,
@@ -593,6 +735,10 @@ fn worker_loop<M: DensityMetric + Send + 'static>(
     let mut grouper = grouping.map(EdgeGrouper::new);
     let coalesce = ingest.coalesce.max(1);
     let mut batch: Vec<(VertexId, VertexId, f64)> = Vec::with_capacity(coalesce.min(4096));
+    // Arrival stamp + budget of every staged (ungrouped) insert, kept in
+    // lockstep with `batch` so apply time can record the true submit →
+    // apply wait and deadline slack per transaction.
+    let mut pending: Vec<(Instant, Option<Duration>)> = Vec::with_capacity(coalesce.min(4096));
     let mut publisher = Publisher::default();
     let mut updates: u64 = 0;
     publisher.publish(&mut engine, &shared, updates, &metrics);
@@ -610,19 +756,26 @@ fn worker_loop<M: DensityMetric + Send + 'static>(
         // §4.3 real-time guarantee survives coalescing.
         let mut cmd = first;
         let mut run_len = 0usize;
+        // Peel-cost margin for the spring push, resolved from the live
+        // reorder histogram at most once per run (a snapshot allocates)
+        // and only when a budgeted insert actually needs it.
+        let mut margin: Option<Duration> = None;
         loop {
             match cmd {
-                Command::Insert { src, dst, raw, queued } => {
+                Command::Insert { src, dst, raw, queued, budget } => {
                     run_len += 1;
-                    // One clock read per drained insert covers both the
-                    // queue-wait sample (submit → here) and, on the
-                    // grouped path, the start of processing time.
-                    let drained = Instant::now();
-                    metrics
-                        .queue_wait_ns
-                        .record_duration(drained.saturating_duration_since(queued));
                     match grouper.as_mut() {
                         Some(g) => {
+                            // Grouped inserts apply (or buffer) right
+                            // here, so drain time IS apply time: one
+                            // clock read covers the queue-wait sample
+                            // and the start of processing time.
+                            let drained = Instant::now();
+                            record_wait(
+                                &metrics,
+                                drained.saturating_duration_since(queued),
+                                budget,
+                            );
                             updates += 1;
                             match g.submit(&mut engine, src, dst, raw) {
                                 Ok(out) if out.flushed.is_some() => {
@@ -640,14 +793,81 @@ fn worker_loop<M: DensityMetric + Send + 'static>(
                                 }
                             }
                         }
-                        None => batch.push((src, dst, raw)),
+                        None => {
+                            // Staged inserts defer their queue-wait
+                            // sample to apply time (the wait they pay
+                            // includes any spring-push delay). No clock
+                            // read per edge — apply stamps the batch
+                            // once.
+                            batch.push((src, dst, raw));
+                            pending.push((queued, budget));
+                        }
+                    }
+                    if run_len >= coalesce {
+                        break;
+                    }
+                }
+                Command::InsertBatch { edges, queued, budget } => {
+                    // The command left the channel: its surplus edges no
+                    // longer occupy queue slots (same as a drained
+                    // per-edge run).
+                    shared
+                        .batched_backlog
+                        .fetch_sub((edges.len().saturating_sub(1)) as u64, Ordering::Relaxed);
+                    match grouper.as_mut() {
+                        Some(g) => {
+                            let drained = Instant::now();
+                            let wait = drained.saturating_duration_since(queued);
+                            for (src, dst, raw) in edges {
+                                run_len += 1;
+                                record_wait(&metrics, wait, budget);
+                                updates += 1;
+                                match g.submit(&mut engine, src, dst, raw) {
+                                    Ok(out) if out.flushed.is_some() => {
+                                        metrics.reorder_ns.record_duration(drained.elapsed());
+                                        metrics.registry.event(EventKind::Flush, updates);
+                                        // `g` stays borrowed across the
+                                        // edge loop, so sync from it
+                                        // directly.
+                                        metrics.flushes.store(g.stats().flushes as u64);
+                                        publisher.publish(&mut engine, &shared, updates, &metrics);
+                                    }
+                                    Ok(_) => {}
+                                    Err(_) => {
+                                        metrics.rejected.inc();
+                                    }
+                                }
+                            }
+                        }
+                        None => {
+                            for (src, dst, raw) in edges {
+                                run_len += 1;
+                                batch.push((src, dst, raw));
+                                pending.push((queued, budget));
+                                if batch.len() >= coalesce {
+                                    // A frame can overshoot the coalesce
+                                    // cap mid-command: flush the full
+                                    // batch early and keep going — same
+                                    // mid-run publish the urgent grouped
+                                    // flush already does.
+                                    apply_batch(
+                                        &mut engine,
+                                        &mut batch,
+                                        &mut pending,
+                                        &mut updates,
+                                        &metrics,
+                                    );
+                                    publisher.publish(&mut engine, &shared, updates, &metrics);
+                                }
+                            }
+                        }
                     }
                     if run_len >= coalesce {
                         break;
                     }
                 }
                 Command::Flush => {
-                    apply_batch(&mut engine, &mut batch, &mut updates, &metrics);
+                    apply_batch(&mut engine, &mut batch, &mut pending, &mut updates, &metrics);
                     if let Some(g) = grouper.as_mut() {
                         let before = g.stats().flushes;
                         let flush_started = Instant::now();
@@ -664,7 +884,7 @@ fn worker_loop<M: DensityMetric + Send + 'static>(
                     // benign edges stay buffered — the region must agree
                     // with the published detection, which excludes them
                     // too.
-                    apply_batch(&mut engine, &mut batch, &mut updates, &metrics);
+                    apply_batch(&mut engine, &mut batch, &mut pending, &mut updates, &metrics);
                     let det = engine.detect();
                     let members: Arc<[VertexId]> = Arc::from(engine.community(det));
                     let snapshot =
@@ -683,7 +903,7 @@ fn worker_loop<M: DensityMetric + Send + 'static>(
                     // buffer (a benign edge of a migrated member left in
                     // the buffer would resurrect on this shard after the
                     // eviction and be stranded for good).
-                    apply_batch(&mut engine, &mut batch, &mut updates, &metrics);
+                    apply_batch(&mut engine, &mut batch, &mut pending, &mut updates, &metrics);
                     if let Some(g) = grouper.as_mut() {
                         let _ = g.flush(&mut engine);
                     }
@@ -710,7 +930,7 @@ fn worker_loop<M: DensityMetric + Send + 'static>(
                     });
                 }
                 Command::Absorb { slice, reply } => {
-                    apply_batch(&mut engine, &mut batch, &mut updates, &metrics);
+                    apply_batch(&mut engine, &mut batch, &mut pending, &mut updates, &metrics);
                     let receipt = absorb_slice(&mut engine, &slice);
                     if receipt.rejected > 0 {
                         metrics.rejected.add(receipt.rejected);
@@ -723,12 +943,27 @@ fn worker_loop<M: DensityMetric + Send + 'static>(
                     break;
                 }
             }
-            match receiver.try_recv() {
-                Ok(next) => cmd = next,
-                Err(_) => break,
-            }
+            cmd = match receiver.try_recv() {
+                Ok(next) => next,
+                Err(_) => {
+                    // Queue ran dry mid-run. Spring push: if every staged
+                    // insert still has budget slack past the peel margin,
+                    // hold the batch open and sleep on the channel until
+                    // new work arrives or the earliest boundary hits —
+                    // whichever comes first. Budget-free batches (and
+                    // boundaries already past) apply immediately, exactly
+                    // like the pre-deadline drain-coalesce.
+                    match spring_wait(&pending, &mut margin, &metrics) {
+                        Some(timeout) => match receiver.recv_timeout(timeout) {
+                            Ok(next) => next,
+                            Err(_) => break,
+                        },
+                        None => break,
+                    }
+                }
+            };
         }
-        apply_batch(&mut engine, &mut batch, &mut updates, &metrics);
+        apply_batch(&mut engine, &mut batch, &mut pending, &mut updates, &metrics);
         if shutdown {
             // Final drain so the last published state reflects every
             // submission that preceded the shutdown marker.
@@ -786,21 +1021,97 @@ fn absorb_slice<M: DensityMetric>(
     receipt
 }
 
+/// Scheduling slack added on top of the measured peel cost when the
+/// spring push computes how long a budgeted batch may stay open: absorbs
+/// OS timer oversleep and the wake-to-apply gap, so a feasible operating
+/// point records zero deadline misses rather than flapping on noise.
+/// Sized for the noisiest supported host — a container time-slicing one
+/// hardware thread, where a runnable thread is routinely frozen for
+/// several milliseconds — because a missed deadline costs more than the
+/// coalescing the reserve gives up; budgets at or under the reserve
+/// degrade to immediate per-edge applies, which is the correct limit.
+/// Public so harnesses judging the zero-miss contract (the frontier
+/// bench's stall probe) can tell a scheduler miss from a platform
+/// stall bigger than this reserve.
+pub const SCHED_SLACK: Duration = Duration::from_millis(5);
+
+/// Records one transaction's submit → apply wait plus, when it carried a
+/// latency budget, the deadline outcome: remaining slack on time,
+/// miss counter + zero slack (and a trace event with the overshoot in
+/// microseconds) when the budget had already elapsed.
+fn record_wait(metrics: &WorkerMetrics, wait: Duration, budget: Option<Duration>) {
+    metrics.queue_wait_ns.record_duration(wait);
+    let Some(budget) = budget else { return };
+    if wait > budget {
+        metrics.deadline_miss.inc();
+        metrics.deadline_slack_ns.record(0);
+        let overshoot_us = (wait - budget).as_micros().min(u64::MAX as u128) as u64;
+        metrics.registry.event(EventKind::DeadlineMiss, overshoot_us);
+    } else {
+        metrics.deadline_slack_ns.record_duration(budget - wait);
+    }
+}
+
+/// How long the staged batch may stay open before the earliest budget is
+/// at risk: `min(arrival + budget) − peel margin − now`, where the peel
+/// margin is the live reorder-latency p99 plus [`SCHED_SLACK`]. `None`
+/// means apply now — the batch is empty, holds no budgeted insert (the
+/// exact legacy drain-coalesce case), or its boundary has already
+/// passed. The margin is resolved lazily and cached in `margin` so a
+/// run snapshots the histogram at most once.
+fn spring_wait(
+    pending: &[(Instant, Option<Duration>)],
+    margin: &mut Option<Duration>,
+    metrics: &WorkerMetrics,
+) -> Option<Duration> {
+    let mut boundary: Option<Instant> = None;
+    for &(queued, budget) in pending {
+        let Some(budget) = budget else { continue };
+        let m = *margin.get_or_insert_with(|| {
+            Duration::from_nanos(metrics.reorder_ns.snapshot().p99()) + SCHED_SLACK
+        });
+        let latest = queued + budget.saturating_sub(m);
+        boundary = Some(boundary.map_or(latest, |cur| cur.min(latest)));
+    }
+    boundary?.checked_duration_since(Instant::now()).filter(|d| !d.is_zero())
+}
+
 /// Applies the accumulated insert batch of an ungrouped worker as one
 /// §4.2 batch insertion (one reorder pass). Malformed transactions are
-/// counted, never fatal. Records the batch size and the reorder/peel
-/// wall time — the processing half of Eq. 4's latency split.
+/// counted, never fatal. Records the batch size, each transaction's
+/// queue wait and deadline outcome (stamped here, where the wait truly
+/// ends), and the reorder/peel wall time — the processing half of
+/// Eq. 4's latency split. A single-command drain skips the batch-path
+/// setup entirely and inserts per-edge — §4.2 makes a batch of one
+/// identical, and drip traffic should not pay batching overhead for it.
 fn apply_batch<M: DensityMetric>(
     engine: &mut SpadeEngine<M>,
     batch: &mut Vec<(VertexId, VertexId, f64)>,
+    pending: &mut Vec<(Instant, Option<Duration>)>,
     updates: &mut u64,
     metrics: &WorkerMetrics,
 ) {
+    debug_assert_eq!(batch.len(), pending.len(), "batch and pending metadata diverged");
     if batch.is_empty() {
+        pending.clear();
         return;
     }
+    let applied_at = Instant::now();
+    for &(queued, budget) in pending.iter() {
+        record_wait(metrics, applied_at.saturating_duration_since(queued), budget);
+    }
+    pending.clear();
     *updates += batch.len() as u64;
     metrics.batch_size.record(batch.len() as u64);
+    if let [(src, dst, raw)] = batch[..] {
+        let reorder_started = Instant::now();
+        if engine.insert_edge(src, dst, raw).is_err() {
+            metrics.rejected.inc();
+        }
+        metrics.reorder_ns.record_duration(reorder_started.elapsed());
+        batch.clear();
+        return;
+    }
     let reorder_started = Instant::now();
     let (_, rejected) = engine.insert_batch_tolerant(batch);
     metrics.reorder_ns.record_duration(reorder_started.elapsed());
@@ -1012,7 +1323,7 @@ mod tests {
         let service = SpadeService::spawn_with(
             SpadeEngine::new(WeightedDensity),
             None,
-            IngestConfig { queue_capacity: 256, coalesce: 16 },
+            IngestConfig { queue_capacity: 256, coalesce: 16, deadline: None },
             "coalesce-test".into(),
         );
         for &(a, b, w) in &edges {
@@ -1235,11 +1546,141 @@ mod tests {
     }
 
     #[test]
+    fn generous_budget_records_slack_and_no_misses() {
+        let service = SpadeService::spawn_with(
+            SpadeEngine::new(WeightedDensity),
+            None,
+            IngestConfig {
+                queue_capacity: 64,
+                coalesce: 16,
+                deadline: Some(Duration::from_secs(30)),
+            },
+            "budget-loose".into(),
+        );
+        for i in 0..40u32 {
+            assert!(service.submit(v(i % 9), v((i + 1) % 9), 1.0 + (i % 3) as f64));
+        }
+        // The 30s budget would hold the last partial batch open for a
+        // long time; a Flush command wakes the spring wait and forces
+        // the apply — the "new command" half of the event-driven wait.
+        assert!(service.flush());
+        for _ in 0..2_000 {
+            if service.stats().updates_applied >= 40 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let stats = service.stats();
+        assert_eq!(stats.updates_applied, 40);
+        assert_eq!(stats.deadline_miss, 0, "a 30s budget cannot be missed in-process");
+        let snap = service.metrics();
+        let slack = &snap.histograms[metric_names::DEADLINE_SLACK_NS];
+        assert_eq!(slack.count, 40, "every budgeted insert records a slack sample");
+        assert!(slack.p50() > 0);
+        assert_eq!(snap.counters[metric_names::DEADLINE_MISS_TOTAL], 0);
+        drop(service);
+    }
+
+    #[test]
+    fn spring_push_holds_the_batch_until_the_budget_boundary() {
+        let budget = Duration::from_millis(300);
+        let service = SpadeService::spawn_with(
+            SpadeEngine::new(WeightedDensity),
+            None,
+            IngestConfig { queue_capacity: 64, coalesce: 64, deadline: Some(budget) },
+            "budget-hold".into(),
+        );
+        let submitted = Instant::now();
+        assert!(service.submit(v(1), v(2), 3.0));
+        // Well before the boundary the batch must still be open …
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(
+            service.stats().updates_applied,
+            0,
+            "budgeted insert applied early: the spring push did not hold"
+        );
+        // … and by the boundary (+ scheduling headroom) it must land.
+        for _ in 0..2_000 {
+            if service.stats().updates_applied >= 1 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let waited = submitted.elapsed();
+        let stats = service.stats();
+        assert_eq!(stats.updates_applied, 1);
+        assert!(
+            waited >= Duration::from_millis(150),
+            "applied after only {waited:?} — boundary ignored"
+        );
+        assert_eq!(stats.deadline_miss, 0, "the boundary leaves a peel margin of slack");
+        drop(service);
+    }
+
+    #[test]
+    fn zero_budget_counts_every_insert_as_missed() {
+        let service = SpadeService::spawn_with(
+            SpadeEngine::new(WeightedDensity),
+            None,
+            IngestConfig { queue_capacity: 64, coalesce: 16, deadline: Some(Duration::ZERO) },
+            "budget-zero".into(),
+        );
+        for i in 0..25u32 {
+            assert!(service.submit(v(i % 7), v((i + 1) % 7), 2.0));
+        }
+        for _ in 0..2_000 {
+            if service.stats().updates_applied >= 25 {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let stats = service.stats();
+        assert_eq!(stats.updates_applied, 25);
+        // A zero budget has already elapsed by apply time, so every
+        // insert is a miss — and the scheduler degrades to immediate
+        // application instead of waiting (the boundary is always past).
+        assert_eq!(stats.deadline_miss, 25);
+        let snap = service.metrics();
+        let slack = &snap.histograms[metric_names::DEADLINE_SLACK_NS];
+        assert_eq!(slack.count, 25);
+        assert_eq!(slack.max, 0, "misses record zero slack");
+        assert!(snap.events.iter().any(|e| e.kind == EventKind::DeadlineMiss));
+        drop(service);
+    }
+
+    #[test]
+    fn submit_batch_feeds_every_edge_through_one_queue_slot() {
+        let service = SpadeService::spawn_with(
+            SpadeEngine::new(WeightedDensity),
+            None,
+            IngestConfig { queue_capacity: 4, coalesce: 8, deadline: None },
+            "batch-submit".into(),
+        );
+        assert_eq!(service.queue_capacity(), 4);
+        let edges: Vec<(VertexId, VertexId, f64)> =
+            (0..30u32).map(|i| (v(i % 11), v((i * 3 + 1) % 11), 1.0 + (i % 4) as f64)).collect();
+        // 30 edges, queue bound 4: only possible because the whole run
+        // occupies a single slot.
+        assert!(service.submit_batch(edges.clone(), None));
+        assert!(service.submit_batch(Vec::new(), None), "empty batch is a no-op");
+        let (det, engine) = service.shutdown_into_engine::<WeightedDensity>();
+        let mut batched = engine.expect("engine handed back");
+        assert_eq!(det.updates_applied, 30);
+
+        let mut solo = SpadeEngine::new(WeightedDensity);
+        for &(a, b, w) in &edges {
+            let _ = solo.insert_edge(a, b, w);
+        }
+        assert_eq!(batched.state().logical_order(), solo.state().logical_order());
+        assert_eq!(batched.detect(), solo.detect());
+    }
+
+    #[test]
     fn coalesce_cap_one_reproduces_per_edge_publishing() {
         let service = SpadeService::spawn_with(
             SpadeEngine::new(WeightedDensity),
             None,
-            IngestConfig { queue_capacity: 4, coalesce: 1 },
+            IngestConfig { queue_capacity: 4, coalesce: 1, deadline: None },
             "per-edge".into(),
         );
         for i in 0..10u32 {

@@ -51,4 +51,4 @@ pub use repair::{
     repair_regions, RegionSummary, RepairConfig, RepairOutcome, RepairScratch, RepairStats,
     RepairedDetection,
 };
-pub use service::{ShardStats, ShardedConfig, ShardedSpadeService};
+pub use service::{BatchSubmit, ShardStats, ShardedConfig, ShardedSpadeService};

@@ -41,7 +41,7 @@ use spade_graph::hash::FxHashSet;
 use spade_graph::VertexId;
 use spade_metrics::runtime::{EventKind, Histogram, MetricsRegistry, MetricsSnapshot};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Registry names of the runtime-level (cross-shard) metrics, alongside
 /// the per-worker names in [`crate::service::metric_names`].
@@ -68,6 +68,10 @@ pub struct ShardedConfig {
     /// publish). `1` means strict per-edge processing; see
     /// [`IngestConfig::coalesce`].
     pub coalesce: usize,
+    /// Default per-transaction detection-latency budget applied inside
+    /// every shard worker; see [`IngestConfig::deadline`]. `None` keeps
+    /// the plain drain-coalesce scheduler.
+    pub deadline: Option<Duration>,
     /// Edge-grouping configuration applied inside every shard.
     pub grouping: Option<GroupingConfig>,
     /// Edge-to-shard routing policy.
@@ -87,6 +91,7 @@ impl Default for ShardedConfig {
             shards: std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4).min(8),
             queue_capacity: ingest.queue_capacity,
             coalesce: ingest.coalesce,
+            deadline: ingest.deadline,
             grouping: None,
             strategy: PartitionStrategy::default(),
             top_k: 4,
@@ -112,6 +117,23 @@ pub struct ShardStats {
     pub shard: usize,
     /// The shard worker's service statistics.
     pub service: ServiceStats,
+}
+
+/// Outcome of one [`ShardedSpadeService::submit_batch`] call.
+///
+/// `accepted` counts the frame-order *prefix* of the batch that was
+/// enqueued: the walk stops at the first edge whose destination shard has
+/// no free queue slot, so a producer can retry `edges[accepted..]`
+/// verbatim without reordering or double-inserting anything.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BatchSubmit {
+    /// Edges enqueued — always a frame-order prefix of the input.
+    pub accepted: usize,
+    /// `true` when some destination shard had shut down; the accepted
+    /// count is then unreliable (the runtime is going away regardless).
+    pub closed: bool,
+    /// How many of the accepted edges each shard received.
+    pub shard_counts: Vec<usize>,
 }
 
 /// Handle to a running sharded detection runtime. Each shard is a full
@@ -206,6 +228,30 @@ fn members_overlap(snapshots: &[PublishedDetection]) -> bool {
     false
 }
 
+/// Walks `edges` in frame order, routing each onto its shard group while
+/// one virtual queue slot per edge remains: stops at the FIRST edge whose
+/// shard has no free slot, so the accepted set is a strict frame-order
+/// prefix (shared by both router arms of
+/// [`ShardedSpadeService::submit_batch`]). Returns the accepted count.
+fn fill_groups(
+    edges: &[(VertexId, VertexId, f64)],
+    route: &mut dyn FnMut(VertexId, VertexId) -> usize,
+    free: &mut [usize],
+    groups: &mut [Vec<(VertexId, VertexId, f64)>],
+) -> usize {
+    let mut accepted = 0;
+    for &(src, dst, raw) in edges {
+        let shard = route(src, dst);
+        if free[shard] == 0 {
+            break;
+        }
+        free[shard] -= 1;
+        groups[shard].push((src, dst, raw));
+        accepted += 1;
+    }
+    accepted
+}
+
 /// The routing fast path: stateless policies route lock-free; stateful
 /// ones (union-find) serialize behind a mutex.
 enum Router {
@@ -244,8 +290,11 @@ impl ShardedSpadeService {
     {
         let num_shards = config.shards.max(1);
         let mut shards = Vec::with_capacity(num_shards);
-        let ingest =
-            IngestConfig { queue_capacity: config.queue_capacity, coalesce: config.coalesce };
+        let ingest = IngestConfig {
+            queue_capacity: config.queue_capacity,
+            coalesce: config.coalesce,
+            deadline: config.deadline,
+        };
         for shard in 0..num_shards {
             shards.push(SpadeService::spawn_with(
                 factory(shard),
@@ -286,45 +335,63 @@ impl ShardedSpadeService {
         self.shards.len()
     }
 
-    /// Routes one transaction to its shard and enqueues it; blocks when
-    /// that shard's queue is full (per-shard back-pressure). Returns
-    /// `false` if the runtime has shut down.
-    pub fn submit(&self, src: VertexId, dst: VertexId, raw: f64) -> bool {
+    /// Routes one transaction and hands its destination [`SpadeService`]
+    /// to `enqueue` — the single copy of the route-then-submit protocol
+    /// that [`submit`](Self::submit), [`try_submit`](Self::try_submit)
+    /// and [`submit_batch`](Self::submit_batch) all share.
+    ///
+    /// For stateful routing the table lock is held ACROSS the enqueue,
+    /// not just the lookup: the migration scheduler takes the same lock
+    /// to rehome a component and stage its eviction marker, so an edge
+    /// routed before a rehome is guaranteed to sit in its shard's queue
+    /// ahead of the marker — in-flight edges always drain into the
+    /// migrated slice instead of landing on an evicted shard. Re-running
+    /// `route` for the same edge on a later retry is safe — the union is
+    /// idempotent and no duplicate strand event is recorded (the
+    /// endpoints already share a root) — at worst the load heuristic
+    /// counts a retried edge twice, nudging new pins away from the
+    /// congested shard. (No deadlock: workers drain their queues without
+    /// ever taking this lock.)
+    fn route_one<R>(
+        &self,
+        src: VertexId,
+        dst: VertexId,
+        enqueue: impl FnOnce(&SpadeService) -> R,
+    ) -> R {
         match &self.router {
             // `HashPartitioner::route` takes `&mut self` to satisfy the
             // trait but touches no state; a copy keeps this lock-free.
             Router::Hash(p) => {
                 let mut p = *p;
                 let shard = p.route(src, dst, self.shards.len());
-                self.shards[shard].submit(src, dst, raw)
+                enqueue(&self.shards[shard])
             }
-            // The routing lock is held ACROSS the enqueue, not just the
-            // table lookup: the migration scheduler takes the same lock
-            // to rehome a component and stage its eviction marker, so an
-            // edge routed before a rehome is guaranteed to sit in its
-            // shard's queue ahead of the marker — in-flight edges always
-            // drain into the migrated slice instead of landing on an
-            // evicted shard. The enqueue itself is NON-blocking: a full
-            // shard queue releases the lock, waits, and re-routes, so one
-            // back-pressured shard never head-of-line-blocks producers
-            // bound for idle shards. Re-running `route` for the same edge
-            // is safe — the union is idempotent and no duplicate strand
-            // event is recorded (the endpoints already share a root) —
-            // at worst the load heuristic counts a retried edge twice,
-            // nudging new pins away from the congested shard. (No
-            // deadlock: workers drain their queues without ever taking
-            // this lock.)
-            Router::Locked(p) => loop {
-                {
-                    let mut table = p.lock();
-                    let shard = table.route(src, dst, self.shards.len());
-                    match self.shards[shard].try_submit(src, dst, raw) {
-                        TrySubmit::Queued => return true,
-                        TrySubmit::Closed => return false,
-                        TrySubmit::Full => {}
+            Router::Locked(p) => {
+                let mut table = p.lock();
+                let shard = table.route(src, dst, self.shards.len());
+                enqueue(&self.shards[shard])
+            }
+        }
+    }
+
+    /// Routes one transaction to its shard and enqueues it; blocks when
+    /// that shard's queue is full (per-shard back-pressure). Returns
+    /// `false` if the runtime has shut down.
+    pub fn submit(&self, src: VertexId, dst: VertexId, raw: f64) -> bool {
+        match &self.router {
+            Router::Hash(_) => self.route_one(src, dst, |shard| shard.submit(src, dst, raw)),
+            // Under stateful routing the enqueue is NON-blocking: a full
+            // shard queue releases the routing lock, waits, and
+            // re-routes, so one back-pressured shard never
+            // head-of-line-blocks producers bound for idle shards.
+            Router::Locked(_) => loop {
+                match self.route_one(src, dst, |shard| shard.try_submit(src, dst, raw)) {
+                    TrySubmit::Queued => return true,
+                    TrySubmit::Closed => return false,
+                    TrySubmit::Full => {
+                        std::thread::sleep(std::time::Duration::from_micros(50));
                     }
                 }
-                std::thread::sleep(std::time::Duration::from_micros(50));
             },
         }
     }
@@ -336,20 +403,89 @@ impl ShardedSpadeService {
     /// back-pressure crosses the wire instead of stalling a connection
     /// handler thread. Re-routing the same edge on a later retry is safe:
     /// the union is idempotent and no duplicate strand event is recorded
-    /// (see [`submit`](Self::submit)).
+    /// (see [`route_one`](Self::route_one)).
     pub fn try_submit(&self, src: VertexId, dst: VertexId, raw: f64) -> TrySubmit {
+        self.route_one(src, dst, |shard| shard.try_submit(src, dst, raw))
+    }
+
+    /// Routes a whole decoded batch by destination shard and enqueues
+    /// one grouped command per shard — one route pass and one channel
+    /// operation per shard per batch, instead of a route + `try_submit`
+    /// round trip per edge.
+    ///
+    /// Admission is a free-slot precheck against each shard's
+    /// edge-denominated queue headroom ([`SpadeService::queue_free`]),
+    /// taken before anything is enqueued: the walk stops at the first
+    /// edge whose shard has no slot left, so the accepted set is always
+    /// a frame-order prefix and a producer can retry `edges[accepted..]`
+    /// without double-inserting (the Busy contract `spade-net` exposes).
+    /// Under stateful routing both the routing pass and the enqueues
+    /// happen under the table lock, preserving the marker-ordering
+    /// guarantee documented on [`route_one`](Self::route_one); the
+    /// precheck keeps those enqueues from blocking under the lock in the
+    /// single-producer case (concurrent producers may still ride the
+    /// shard's own back-pressure briefly).
+    ///
+    /// `budget` overrides the configured default detection-latency
+    /// budget for every edge in the batch; `None` inherits the default.
+    pub fn submit_batch(
+        &self,
+        edges: &[(VertexId, VertexId, f64)],
+        budget: Option<Duration>,
+    ) -> BatchSubmit {
+        let num_shards = self.shards.len();
+        if edges.is_empty() {
+            return BatchSubmit { accepted: 0, closed: false, shard_counts: vec![0; num_shards] };
+        }
+        let mut groups: Vec<Vec<(VertexId, VertexId, f64)>> = vec![Vec::new(); num_shards];
         match &self.router {
             Router::Hash(p) => {
                 let mut p = *p;
-                let shard = p.route(src, dst, self.shards.len());
-                self.shards[shard].try_submit(src, dst, raw)
+                let mut free: Vec<usize> = self.shards.iter().map(|s| s.queue_free()).collect();
+                let accepted = fill_groups(
+                    edges,
+                    &mut |src, dst| p.route(src, dst, num_shards),
+                    &mut free,
+                    &mut groups,
+                );
+                let (shard_counts, closed) = self.enqueue_groups(groups, budget);
+                BatchSubmit { accepted, closed, shard_counts }
             }
             Router::Locked(p) => {
                 let mut table = p.lock();
-                let shard = table.route(src, dst, self.shards.len());
-                self.shards[shard].try_submit(src, dst, raw)
+                // Snapshot free slots under the lock: all producers to a
+                // stateful router serialize here, so the snapshot cannot
+                // be raced by another batch.
+                let mut free: Vec<usize> = self.shards.iter().map(|s| s.queue_free()).collect();
+                let accepted = fill_groups(
+                    edges,
+                    &mut |src, dst| table.route(src, dst, num_shards),
+                    &mut free,
+                    &mut groups,
+                );
+                let (shard_counts, closed) = self.enqueue_groups(groups, budget);
+                BatchSubmit { accepted, closed, shard_counts }
             }
         }
+    }
+
+    /// Enqueues each non-empty per-shard group as one grouped command.
+    /// Returns the per-shard accepted counts and whether any destination
+    /// shard had shut down.
+    fn enqueue_groups(
+        &self,
+        groups: Vec<Vec<(VertexId, VertexId, f64)>>,
+        budget: Option<Duration>,
+    ) -> (Vec<usize>, bool) {
+        let mut closed = false;
+        let mut shard_counts = Vec::with_capacity(groups.len());
+        for (shard, group) in groups.into_iter().enumerate() {
+            shard_counts.push(group.len());
+            if !group.is_empty() && !self.shards[shard].submit_batch(group, budget) {
+                closed = true;
+            }
+        }
+        (shard_counts, closed)
     }
 
     /// Asks every shard to flush buffered benign edges. Returns `false`
@@ -1332,6 +1468,77 @@ mod tests {
         got.sort_unstable();
         assert_eq!(got, want_members);
         assert_eq!(global.best.size, want_size);
+    }
+
+    #[test]
+    fn fill_groups_stops_at_the_first_full_shard() {
+        let edges: Vec<_> = (0..6u32).map(|i| (v(i), v(i + 10), 1.0)).collect();
+        let mut free = vec![2usize, 1];
+        let mut groups = vec![Vec::new(), Vec::new()];
+        let mut turn = 0usize;
+        let accepted = fill_groups(
+            &edges,
+            &mut |_, _| {
+                let shard = turn % 2;
+                turn += 1;
+                shard
+            },
+            &mut free,
+            &mut groups,
+        );
+        // Alternating routes with free = [2, 1]: edge 0 → shard 0, edge
+        // 1 → shard 1 (now full), edge 2 → shard 0, edge 3 → shard 1
+        // stops the walk even though shard 0 still has room.
+        assert_eq!(accepted, 3);
+        assert_eq!(groups[0].len(), 2);
+        assert_eq!(groups[1].len(), 1);
+        assert_eq!(free, vec![0, 0]);
+        assert_eq!(groups[0][1].0, v(2), "prefix must preserve frame order");
+    }
+
+    #[test]
+    fn submit_batch_matches_per_edge_submits_exactly() {
+        let edges = ring_with_noise(50..54);
+
+        // Grouped submission through the default (stateful) router.
+        let batched = ShardedSpadeService::spawn(WeightedDensity, ShardedConfig::with_shards(3));
+        let outcome = batched.submit_batch(&edges, None);
+        assert_eq!(outcome.accepted, edges.len(), "default queues must admit the whole frame");
+        assert!(!outcome.closed);
+        assert_eq!(outcome.shard_counts.iter().sum::<usize>(), edges.len());
+        assert_eq!(
+            batched.submit_batch(&[], None),
+            BatchSubmit { accepted: 0, closed: false, shard_counts: vec![0; 3] }
+        );
+        let got = batched.shutdown();
+
+        // Per-edge submission of the same stream.
+        let per_edge = ShardedSpadeService::spawn(WeightedDensity, ShardedConfig::with_shards(3));
+        for &(a, b, w) in &edges {
+            assert!(per_edge.submit(a, b, w));
+        }
+        let want = per_edge.shutdown();
+
+        assert_eq!(got.total_updates, want.total_updates);
+        assert_eq!(got.best.size, want.best.size);
+        assert!((got.best.density - want.best.density).abs() < 1e-12);
+        assert_eq!(got.best.members, want.best.members);
+    }
+
+    #[test]
+    fn submit_batch_under_hash_routing_covers_every_edge() {
+        let config = ShardedConfig {
+            shards: 4,
+            strategy: PartitionStrategy::HashBySource,
+            ..Default::default()
+        };
+        let service = ShardedSpadeService::spawn(WeightedDensity, config);
+        let edges = ring_with_noise(50..54);
+        let outcome = service.submit_batch(&edges, None);
+        assert_eq!(outcome.accepted, edges.len());
+        assert!(!outcome.closed);
+        let global = service.shutdown();
+        assert_eq!(global.total_updates, edges.len() as u64);
     }
 
     #[test]

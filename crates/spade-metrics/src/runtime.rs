@@ -284,6 +284,9 @@ pub enum EventKind {
     /// A malformed wire frame was dropped (value: decoder error code,
     /// when known).
     MalformedFrame,
+    /// A transaction was applied after its latency budget elapsed
+    /// (value: overshoot in microseconds).
+    DeadlineMiss,
 }
 
 impl EventKind {
@@ -296,6 +299,7 @@ impl EventKind {
             EventKind::Migration => "migration",
             EventKind::Busy => "busy",
             EventKind::MalformedFrame => "malformed_frame",
+            EventKind::DeadlineMiss => "deadline_miss",
         }
     }
 }

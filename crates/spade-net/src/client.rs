@@ -28,11 +28,21 @@ pub struct ClientConfig {
     pub pipeline: usize,
     /// Pause before re-sending the suffix a Busy reply bounced.
     pub busy_backoff: Duration,
+    /// Per-transaction detection-latency budget to attach to every batch
+    /// (shipped as a `BatchBudget` frame, protocol v2). `None` sends
+    /// plain `Batch` frames a v1 server also understands; the shards
+    /// then fall back to their configured default deadline.
+    pub budget: Option<Duration>,
 }
 
 impl Default for ClientConfig {
     fn default() -> Self {
-        ClientConfig { batch: 512, pipeline: 32, busy_backoff: Duration::from_micros(200) }
+        ClientConfig {
+            batch: 512,
+            pipeline: 32,
+            busy_backoff: Duration::from_micros(200),
+            budget: None,
+        }
     }
 }
 
@@ -192,15 +202,25 @@ impl SpadeNetClient {
         self.write_batch(batch)
     }
 
-    /// Writes one `Batch` frame and parks the edges in the in-flight
-    /// window (moved, not cloned — the frame borrows them transiently so
-    /// the hot path pays only the encode copy).
+    /// Writes one `Batch` (or, with a configured budget, `BatchBudget`)
+    /// frame and parks the edges in the in-flight window (moved, not
+    /// cloned — the frame borrows them transiently so the hot path pays
+    /// only the encode copy).
     fn write_batch(&mut self, batch: Vec<(VertexId, VertexId, f64)>) -> std::io::Result<()> {
-        let frame = WireFrame::Batch { edges: batch };
+        // Saturate instead of wrapping a >71-minute budget; u32::MAX
+        // microseconds is already far beyond any real-time SLO.
+        let budget_us =
+            self.config.budget.map(|b| u32::try_from(b.as_micros()).unwrap_or(u32::MAX));
+        let frame = match budget_us {
+            Some(budget_us) => WireFrame::BatchBudget { budget_us, edges: batch },
+            None => WireFrame::Batch { edges: batch },
+        };
         write_frame(&mut self.writer, &frame)?;
         self.stats.frames_sent += 1;
         self.writer.flush()?;
-        let WireFrame::Batch { edges } = frame else { unreachable!("constructed above") };
+        let (WireFrame::Batch { edges } | WireFrame::BatchBudget { edges, .. }) = frame else {
+            unreachable!("constructed above")
+        };
         self.inflight.push_back(edges);
         Ok(())
     }

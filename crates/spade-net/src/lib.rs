@@ -52,5 +52,5 @@ pub use server::{NetStats, SpadeNetServer};
 pub use wire::{
     read_frame, write_frame, DetectionReply, FrameDecoder, MetricsReply, StatsReply, WireError,
     WireFrame, MAX_BATCH_EDGES, MAX_DETECTION_MEMBERS, MAX_EXPOSITION_BYTES, MAX_FRAME_BYTES,
-    MAX_STATS_SHARDS, METRICS_VERSION,
+    MAX_STATS_SHARDS, METRICS_VERSION, PROTOCOL_VERSION,
 };

@@ -359,7 +359,13 @@ fn handle_frame<W: Write>(
             Ok(alive)
         }
         WireFrame::Batch { edges } => {
-            let (reply, alive) = submit_run(&edges, service, telemetry, conn);
+            let (reply, alive) = submit_grouped(&edges, None, service, telemetry, conn);
+            write_frame(out, &reply)?;
+            Ok(alive)
+        }
+        WireFrame::BatchBudget { budget_us, edges } => {
+            let budget = (budget_us > 0).then(|| Duration::from_micros(u64::from(budget_us)));
+            let (reply, alive) = submit_grouped(&edges, budget, service, telemetry, conn);
             write_frame(out, &reply)?;
             Ok(alive)
         }
@@ -485,5 +491,34 @@ fn submit_run(
         }
     }
     telemetry.edges_accepted.fetch_add(accepted, Ordering::Relaxed);
+    (WireFrame::Ack { accepted }, true)
+}
+
+/// The batch fast path: hands the whole frame to
+/// [`ShardedSpadeService::submit_batch`], which routes every edge once
+/// and enqueues one grouped command per destination shard — instead of a
+/// route + `try_send` round trip per edge. Admission is still the strict
+/// frame-order prefix, so a `Busy` reply's `accepted` count keeps its
+/// retry-the-suffix meaning, and the Ack/Busy/Error telemetry is
+/// identical to the per-edge path.
+fn submit_grouped(
+    edges: &[(VertexId, VertexId, f64)],
+    budget: Option<Duration>,
+    service: &ShardedSpadeService,
+    telemetry: &NetTelemetry,
+    conn: &ConnCounters,
+) -> (WireFrame, bool) {
+    let outcome = service.submit_batch(edges, budget);
+    let accepted = outcome.accepted as u64;
+    telemetry.edges_accepted.fetch_add(accepted, Ordering::Relaxed);
+    if outcome.closed {
+        return (WireFrame::Error { message: "runtime has shut down".into() }, false);
+    }
+    if outcome.accepted < edges.len() {
+        telemetry.busy_replies.fetch_add(1, Ordering::Relaxed);
+        conn.busy_replies.fetch_add(1, Ordering::Relaxed);
+        telemetry.registry.event(spade_metrics::EventKind::Busy, accepted);
+        return (WireFrame::Busy { accepted }, true);
+    }
     (WireFrame::Ack { accepted }, true)
 }

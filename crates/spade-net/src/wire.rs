@@ -18,9 +18,17 @@ use std::io::{Read, Write};
 /// this is rejected before allocating.
 pub const MAX_FRAME_BYTES: usize = 1 << 20;
 
+/// Version of the request/reply framing itself. Version 2 added the
+/// `BatchBudget` frame (a `Batch` carrying a per-transaction detection
+/// budget for the SLO scheduler); a v1 server answers its opcode with
+/// `BadOpcode`, so a client that sets a budget needs a v2 server.
+pub const PROTOCOL_VERSION: u32 = 2;
+
 /// Most edges one `Batch` frame can carry within [`MAX_FRAME_BYTES`]
-/// (opcode byte + u32 count + 16 bytes per edge).
-pub const MAX_BATCH_EDGES: usize = (MAX_FRAME_BYTES - 5) / 16;
+/// (opcode byte + u32 count + 16 bytes per edge). A `BatchBudget` frame
+/// adds a 4-byte budget header, but the bound is kept shared — the lost
+/// fraction of a frame is a quarter of one edge.
+pub const MAX_BATCH_EDGES: usize = (MAX_FRAME_BYTES - 9) / 16;
 
 /// Most members a `Detection` reply ships within [`MAX_FRAME_BYTES`]
 /// (header 29 bytes + 4 per member); a larger community truncates its
@@ -54,6 +62,7 @@ const OP_DETECT: u8 = 0x04;
 const OP_STATS: u8 = 0x05;
 const OP_SHUTDOWN: u8 = 0x06;
 const OP_METRICS: u8 = 0x07;
+const OP_BATCH_BUDGET: u8 = 0x08;
 const OP_ACK: u8 = 0x81;
 const OP_BUSY: u8 = 0x82;
 const OP_DETECTION: u8 = 0x83;
@@ -182,6 +191,17 @@ pub enum WireFrame {
         /// The transactions, in submission order.
         edges: Vec<(VertexId, VertexId, f64)>,
     },
+    /// A `Batch` whose transactions carry a detection-latency budget for
+    /// the SLO scheduler: each edge should be applied within `budget_us`
+    /// of arriving at its shard. Protocol v2
+    /// ([`PROTOCOL_VERSION`]); a v1 server rejects the opcode.
+    BatchBudget {
+        /// Per-transaction budget in microseconds (0 means "no budget" —
+        /// equivalent to a plain `Batch`).
+        budget_us: u32,
+        /// The transactions, in submission order.
+        edges: Vec<(VertexId, VertexId, f64)>,
+    },
     /// Ask every shard to flush buffered benign edges.
     Flush,
     /// Ask for the merged global detection.
@@ -258,6 +278,17 @@ impl WireFrame {
             WireFrame::Batch { edges } => {
                 assert!(edges.len() <= MAX_BATCH_EDGES, "batch exceeds the frame bound");
                 payload.put_slice(&[OP_BATCH]);
+                payload.put_u32_le(edges.len() as u32);
+                for &(src, dst, raw) in edges {
+                    payload.put_u32_le(src.0);
+                    payload.put_u32_le(dst.0);
+                    payload.put_f64_le(raw);
+                }
+            }
+            WireFrame::BatchBudget { budget_us, edges } => {
+                assert!(edges.len() <= MAX_BATCH_EDGES, "batch exceeds the frame bound");
+                payload.put_slice(&[OP_BATCH_BUDGET]);
+                payload.put_u32_le(*budget_us);
                 payload.put_u32_le(edges.len() as u32);
                 for &(src, dst, raw) in edges {
                     payload.put_u32_le(src.0);
@@ -344,6 +375,7 @@ impl WireFrame {
     fn encoded_hint(&self) -> usize {
         match self {
             WireFrame::Batch { edges } => 5 + edges.len() * 16,
+            WireFrame::BatchBudget { edges, .. } => 9 + edges.len() * 16,
             WireFrame::Detection(det) => 29 + det.members.len().min(MAX_DETECTION_MEMBERS) * 4,
             WireFrame::Error { message } => 1 + message.len().min(MAX_ERROR_BYTES),
             WireFrame::StatsReply(s) => 77 + s.shard_queue_depths.len().min(MAX_STATS_SHARDS) * 8,
@@ -381,6 +413,21 @@ impl WireFrame {
                     ));
                 }
                 WireFrame::Batch { edges }
+            }
+            OP_BATCH_BUDGET => {
+                need(&buf, 8, "truncated budgeted-batch header")?;
+                let budget_us = buf.get_u32_le();
+                let count = buf.get_u32_le() as usize;
+                check_section(&buf, count, 16, "truncated budgeted batch")?;
+                let mut edges = Vec::with_capacity(count);
+                for _ in 0..count {
+                    edges.push((
+                        VertexId(buf.get_u32_le()),
+                        VertexId(buf.get_u32_le()),
+                        buf.get_f64_le(),
+                    ));
+                }
+                WireFrame::BatchBudget { budget_us, edges }
             }
             OP_FLUSH => WireFrame::Flush,
             OP_DETECT => WireFrame::Detect,
@@ -558,6 +605,11 @@ mod tests {
         roundtrip(WireFrame::Edge { src: v(1), dst: v(2), raw: 3.5 });
         roundtrip(WireFrame::Batch { edges: vec![(v(0), v(1), 1.0), (v(9), v(7), 0.25)] });
         roundtrip(WireFrame::Batch { edges: Vec::new() });
+        roundtrip(WireFrame::BatchBudget {
+            budget_us: 5_000,
+            edges: vec![(v(0), v(1), 1.0), (v(9), v(7), 0.25)],
+        });
+        roundtrip(WireFrame::BatchBudget { budget_us: 0, edges: Vec::new() });
         roundtrip(WireFrame::Flush);
         roundtrip(WireFrame::Detect);
         roundtrip(WireFrame::Stats);
@@ -629,6 +681,23 @@ mod tests {
         let mut wrap = vec![OP_BATCH];
         wrap.extend_from_slice(&u32::MAX.to_le_bytes());
         assert!(matches!(WireFrame::decode_payload(&wrap), Err(WireError::Corrupt(_))));
+
+        // The same two attacks through the budgeted-batch opcode.
+        let mut payload = vec![OP_BATCH_BUDGET];
+        payload.extend_from_slice(&200u32.to_le_bytes()); // budget_us
+        payload.extend_from_slice(&1000u32.to_le_bytes()); // count
+        payload.extend_from_slice(&[0u8; 16]); // room for exactly one
+        assert!(matches!(WireFrame::decode_payload(&payload), Err(WireError::Corrupt(_))));
+        let mut wrap = vec![OP_BATCH_BUDGET];
+        wrap.extend_from_slice(&200u32.to_le_bytes());
+        wrap.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(WireFrame::decode_payload(&wrap), Err(WireError::Corrupt(_))));
+        // A budgeted batch with trailing garbage after the edge section.
+        let mut trailing_batch =
+            WireFrame::BatchBudget { budget_us: 7, edges: vec![(v(1), v(2), 3.0)] }.encode()[4..]
+                .to_vec();
+        trailing_batch.push(0);
+        assert!(matches!(WireFrame::decode_payload(&trailing_batch), Err(WireError::Corrupt(_))));
 
         assert!(matches!(WireFrame::decode_payload(&[]), Err(WireError::Corrupt(_))));
         assert!(matches!(WireFrame::decode_payload(&[0x7f]), Err(WireError::BadOpcode(0x7f))));

@@ -168,6 +168,43 @@ fn shutdown_frame_stops_the_server() {
 }
 
 #[test]
+fn budgeted_batches_flow_through_the_slo_scheduler() {
+    let (service, server) = spawn_server(2);
+    // A client with a per-transaction detection budget ships BatchBudget
+    // (protocol v2) frames; the server hands each one to the grouped
+    // sharded submit with the budget attached.
+    let mut client = SpadeNetClient::connect_with(
+        server.local_addr(),
+        spade_net::ClientConfig {
+            batch: 16,
+            budget: Some(std::time::Duration::from_millis(50)),
+            ..Default::default()
+        },
+    )
+    .expect("connect");
+    for i in 0..100u32 {
+        client.submit(v(i % 20), v((i + 1) % 20), 1.0 + (i % 5) as f64).unwrap();
+    }
+    client.detect().expect("detect");
+
+    // Every applied edge recorded a deadline outcome: with a generous
+    // 50ms budget each one lands in the slack histogram, none as a miss.
+    let reply = client.server_metrics().expect("metrics");
+    let text = &reply.exposition;
+    assert!(
+        text.contains("spade_deadline_slack_ns_count 100"),
+        "every budgeted edge must record slack, got:\n{text}"
+    );
+    assert!(text.contains("spade_deadline_miss_total 0"), "misses under a 50ms budget:\n{text}");
+
+    let stats = client.finish().expect("finish");
+    assert_eq!(stats.edges_acked, 100);
+    server.shutdown();
+    let service = Arc::try_unwrap(service).unwrap_or_else(|_| panic!("service still shared"));
+    assert_eq!(service.shutdown().total_updates, 100);
+}
+
+#[test]
 fn empty_batches_and_pipelined_sends_are_harmless() {
     let (service, server) = spawn_server(2);
     let mut client = SpadeNetClient::connect_with(

@@ -20,6 +20,12 @@ fn arb_frame() -> impl Strategy<Value = WireFrame> {
         collection::vec((0u32..100_000, 0u32..100_000, 0.0f64..1e6), 0..64).prop_map(|edges| {
             WireFrame::Batch { edges: edges.into_iter().map(|(s, d, w)| (v(s), v(d), w)).collect() }
         });
+    let batch_budget =
+        (0u32..u32::MAX, collection::vec((0u32..100_000, 0u32..100_000, 0.0f64..1e6), 0..64))
+            .prop_map(|(budget_us, edges)| WireFrame::BatchBudget {
+                budget_us,
+                edges: edges.into_iter().map(|(s, d, w)| (v(s), v(d), w)).collect(),
+            });
     let detection = (0u64..1_000_000, 0.0f64..1e9, 0u64..u64::MAX)
         .prop_map(|(size, density, updates)| (size, density, updates));
     let detection = (detection, collection::vec(0u32..u32::MAX, 0..128)).prop_map(
@@ -67,6 +73,7 @@ fn arb_frame() -> impl Strategy<Value = WireFrame> {
     prop_oneof![
         4 => edge,
         4 => batch,
+        3 => batch_budget,
         1 => Just(WireFrame::Flush),
         1 => Just(WireFrame::Detect),
         1 => Just(WireFrame::Stats),

@@ -77,6 +77,15 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The wait elapsed without a message arriving.
+        Timeout,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
     /// The sending half; clone freely for multiple producers.
     pub struct Sender<T> {
         shared: Arc<Shared<T>>,
@@ -201,6 +210,37 @@ pub mod channel {
             }
         }
 
+        /// Blocks until a message arrives or `timeout` elapses, whichever
+        /// comes first. Fails with [`RecvTimeoutError::Disconnected`] once
+        /// the channel is empty and every sender has been dropped.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut inner = self.shared.inner.lock().unwrap();
+            loop {
+                if let Some(msg) = inner.queue.pop_front() {
+                    let wake = inner.send_waiters > 0;
+                    drop(inner);
+                    if wake {
+                        self.shared.not_full.notify_one();
+                    }
+                    return Ok(msg);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = std::time::Instant::now();
+                let Some(remaining) = deadline.checked_duration_since(now).filter(|d| !d.is_zero())
+                else {
+                    return Err(RecvTimeoutError::Timeout);
+                };
+                inner.recv_waiters += 1;
+                let (guard, _timed_out) =
+                    self.shared.not_empty.wait_timeout(inner, remaining).unwrap();
+                inner = guard;
+                inner.recv_waiters -= 1;
+            }
+        }
+
         /// Non-blocking receive.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut inner = self.shared.inner.lock().unwrap();
@@ -251,7 +291,7 @@ pub mod channel {
 
 #[cfg(test)]
 mod tests {
-    use super::channel::{bounded, RecvError, TryRecvError};
+    use super::channel::{bounded, RecvError, RecvTimeoutError, TryRecvError};
 
     #[test]
     fn fifo_roundtrip() {
@@ -292,6 +332,28 @@ mod tests {
         drop(tx);
         assert_eq!(rx.recv(), Ok(7));
         assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn recv_timeout_times_out_then_delivers() {
+        let (tx, rx) = bounded(2);
+        let t0 = std::time::Instant::now();
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_millis(20)),
+            Err(RecvTimeoutError::Timeout)
+        );
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(20));
+
+        let producer = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            tx.send(42u32).unwrap();
+        });
+        assert_eq!(rx.recv_timeout(std::time::Duration::from_secs(5)), Ok(42));
+        producer.join().unwrap();
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_millis(1)),
+            Err(RecvTimeoutError::Disconnected)
+        );
     }
 
     #[test]

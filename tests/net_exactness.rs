@@ -192,7 +192,12 @@ fn back_pressure_surfaces_busy_and_loses_no_acknowledged_edge() {
     let server = SpadeNetServer::bind(Arc::clone(&service), "127.0.0.1:0").expect("bind");
     let mut client = SpadeNetClient::connect_with(
         server.local_addr(),
-        ClientConfig { batch: 16, pipeline: 16, busy_backoff: Duration::from_micros(50) },
+        ClientConfig {
+            batch: 16,
+            pipeline: 16,
+            busy_backoff: Duration::from_micros(50),
+            ..Default::default()
+        },
     )
     .expect("connect");
 

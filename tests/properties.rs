@@ -163,6 +163,9 @@ proptest! {
     /// the worker's batch runs (§4.2) yield the same peeling sequence
     /// and the same final detection — the coalescing optimization is
     /// observationally pure, now exercised through the service layer.
+    /// With `deadline: None` this is also the no-budget half of the
+    /// scheduler property: a budget-free config never takes the
+    /// spring-push wait, so the SLO scheduler IS plain drain-coalescing.
     #[test]
     fn coalesced_service_equals_per_edge_solo_engine(
         edges in proptest::collection::vec((0u32..12, 0u32..12, 1u8..7), 1..60),
@@ -173,7 +176,7 @@ proptest! {
         let service = SpadeService::spawn_with(
             SpadeEngine::new(WeightedDensity),
             grouping,
-            IngestConfig { queue_capacity: 128, coalesce },
+            IngestConfig { queue_capacity: 128, coalesce, deadline: None },
             "prop-coalesce".into(),
         );
         let mut submitted = 0u64;
@@ -199,6 +202,71 @@ proptest! {
         // The published members are exactly the solo community.
         let published: Vec<VertexId> = det.members.to_vec();
         prop_assert_eq!(&published[..], solo.community(want));
+    }
+
+    /// Scheduler exactness under budgets: turning the spring-push
+    /// scheduler ON (every transaction carries a budget) changes only
+    /// WHEN batches apply, never WHAT they compute — the final peeling
+    /// sequence and detection stay bit-identical to per-edge solo
+    /// insertion, and under feasible offered load no admitted
+    /// transaction's queue-wait sample exceeds its budget plus one
+    /// batch-peel p99 (plus scheduler wakeup slop).
+    #[test]
+    fn budgeted_scheduler_is_exact_and_respects_budgets(
+        edges in proptest::collection::vec((0u32..12, 0u32..12, 1u8..7), 1..50),
+        coalesce in 1usize..40,
+        budget_ms in 40u64..120,
+        flush_early in (0u8..2).prop_map(|x| x == 1),
+    ) {
+        use std::time::{Duration, Instant};
+        let budget = Duration::from_millis(budget_ms);
+        let service = SpadeService::spawn_with(
+            SpadeEngine::new(WeightedDensity),
+            None,
+            IngestConfig { queue_capacity: 128, coalesce, deadline: Some(budget) },
+            "prop-budget".into(),
+        );
+        let mut submitted = 0u64;
+        for &(a, b, w) in &edges {
+            prop_assert!(service.submit(v(a), v(b), w as f64));
+            submitted += 1;
+        }
+        if flush_early {
+            // A flush wakes the spring wait immediately; otherwise the
+            // final partial batch is held until its budget boundary.
+            prop_assert!(service.flush());
+        }
+        let deadline = Instant::now() + budget + Duration::from_secs(10);
+        while service.stats().updates_applied < submitted {
+            prop_assert!(Instant::now() < deadline, "scheduler stalled past every budget");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let snap = service.metrics();
+        let wait = &snap.histograms["spade_stage_queue_wait_ns"];
+        prop_assert_eq!(wait.count, submitted);
+        let peel_p99 = Duration::from_nanos(snap.histograms["spade_stage_reorder_ns"].p99());
+        let bound = budget + peel_p99 + Duration::from_millis(250);
+        prop_assert!(
+            wait.max <= bound.as_nanos() as u64,
+            "queue wait {}ns exceeds budget {}ms + peel p99 {}ns + slop",
+            wait.max, budget_ms, peel_p99.as_nanos()
+        );
+        if flush_early {
+            // With the wait cut short, nothing comes near its budget.
+            prop_assert_eq!(snap.counters["spade_deadline_miss_total"], 0);
+        }
+
+        let (det, engine) = service.shutdown_into_engine::<WeightedDensity>();
+        let mut budgeted = engine.expect("worker hands the engine back");
+        prop_assert_eq!(det.updates_applied, submitted);
+        let mut solo = SpadeEngine::new(WeightedDensity);
+        for &(a, b, w) in &edges {
+            let _ = solo.insert_edge(v(a), v(b), w as f64);
+        }
+        prop_assert_eq!(budgeted.state().logical_order(), solo.state().logical_order());
+        let (got, want) = (budgeted.detect(), solo.detect());
+        prop_assert_eq!(got.size, want.size);
+        prop_assert_eq!(got.density.to_bits(), want.density.to_bits());
     }
 
     /// Snapshot round-trips preserve the engine state exactly.
