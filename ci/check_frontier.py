@@ -27,6 +27,7 @@ is machine-independent even when its absolute numbers are not):
 
 Usage:
     ci/check_frontier.py BENCH_frontier.json
+    ci/check_frontier.py --self-test
 """
 
 import json
@@ -43,7 +44,35 @@ def fail(msg):
     sys.exit(f"FAIL: {msg}")
 
 
+def self_test():
+    """Re-runs this gate against the committed fixtures: a healthy
+    frontier must pass and a feasible-with-misses row must fail."""
+    import os
+    import subprocess
+
+    fixtures = os.path.join(os.path.dirname(os.path.abspath(__file__)), "fixtures")
+    script = os.path.abspath(__file__)
+    cases = [
+        (True, [os.path.join(fixtures, "frontier_pass.json")]),
+        (False, [os.path.join(fixtures, "frontier_fail.json")]),
+    ]
+    for expect_ok, argv in cases:
+        proc = subprocess.run([sys.executable, script, *argv],
+                              capture_output=True, text=True)
+        ok = proc.returncode == 0
+        if ok != expect_ok:
+            print(proc.stdout)
+            print(proc.stderr, file=sys.stderr)
+            sys.exit(f"FAIL: self-test case {argv} expected "
+                     f"{'pass' if expect_ok else 'fail'} but got rc "
+                     f"{proc.returncode}")
+    print("OK: self-test — healthy frontier passes, feasible-with-misses fails")
+    return 0
+
+
 def main():
+    if "--self-test" in sys.argv[1:]:
+        return self_test()
     if len(sys.argv) != 2:
         sys.exit(__doc__)
     with open(sys.argv[1]) as f:

@@ -30,6 +30,7 @@ even when throughput holds.
 Usage:
     ci/check_ingest_regression.py BASELINE.json FRESH.json \
         [--max-drop 0.20] [--max-wait-rise 0.20]
+    ci/check_ingest_regression.py --self-test
 """
 
 import argparse
@@ -44,7 +45,37 @@ def samples_by_key(trajectory):
     }
 
 
+def self_test():
+    """Re-runs this gate against the committed fixtures: an unchanged
+    trajectory must pass and a 50% bursty throughput drop must fail."""
+    import os
+    import subprocess
+
+    fixtures = os.path.join(os.path.dirname(os.path.abspath(__file__)), "fixtures")
+    script = os.path.abspath(__file__)
+    baseline = os.path.join(fixtures, "ingest_baseline.json")
+    cases = [
+        (True, [baseline, baseline]),
+        (False, [baseline, os.path.join(fixtures, "ingest_fresh_bad.json")]),
+    ]
+    for expect_ok, argv in cases:
+        proc = subprocess.run([sys.executable, script, *argv],
+                              capture_output=True, text=True)
+        ok = proc.returncode == 0
+        if ok != expect_ok:
+            print(proc.stdout)
+            print(proc.stderr, file=sys.stderr)
+            sys.exit(f"FAIL: self-test case {argv} expected "
+                     f"{'pass' if expect_ok else 'fail'} but got rc "
+                     f"{proc.returncode}")
+    print("OK: self-test — unchanged trajectory passes, 50% bursty drop fails")
+    return 0
+
+
 def main():
+    if "--self-test" in sys.argv[1:]:
+        return self_test()
+
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("baseline", help="committed BENCH_ingest.json")
     parser.add_argument("fresh", help="freshly measured trajectory")

@@ -14,6 +14,7 @@ Given two scrapes taken in order (SCRAPE1 then SCRAPE2), asserts:
 
 Usage:
     ci/check_metrics_scrape.py SCRAPE1.txt SCRAPE2.txt
+    ci/check_metrics_scrape.py --self-test
 """
 
 import math
@@ -63,7 +64,36 @@ def parse(path):
     return series
 
 
+def self_test():
+    """Re-runs this gate against the committed fixtures: an advancing
+    scrape pair must pass and a backwards counter must fail."""
+    import os
+    import subprocess
+
+    fixtures = os.path.join(os.path.dirname(os.path.abspath(__file__)), "fixtures")
+    script = os.path.abspath(__file__)
+    first = os.path.join(fixtures, "scrape_ok_1.txt")
+    cases = [
+        (True, [first, os.path.join(fixtures, "scrape_ok_2.txt")]),
+        (False, [first, os.path.join(fixtures, "scrape_bad_2.txt")]),
+    ]
+    for expect_ok, argv in cases:
+        proc = subprocess.run([sys.executable, script, *argv],
+                              capture_output=True, text=True)
+        ok = proc.returncode == 0
+        if ok != expect_ok:
+            print(proc.stdout)
+            print(proc.stderr, file=sys.stderr)
+            sys.exit(f"FAIL: self-test case {argv} expected "
+                     f"{'pass' if expect_ok else 'fail'} but got rc "
+                     f"{proc.returncode}")
+    print("OK: self-test — advancing scrapes pass, backwards counter fails")
+    return 0
+
+
 def main():
+    if "--self-test" in sys.argv[1:]:
+        return self_test()
     if len(sys.argv) != 3:
         sys.exit(__doc__)
     first = parse(sys.argv[1])

@@ -10,7 +10,9 @@ use spade_gen::datasets::DatasetSpec;
 use spade_graph::io::{read_edge_list, EdgeRecord};
 use spade_graph::VertexId;
 use spade_metrics::Table;
-use spade_net::{ClientConfig, MetricsHttpServer, NetStats, SpadeNetClient, SpadeNetServer};
+use spade_net::{
+    ClientConfig, MetricsHttpServer, NetStats, ReactorConfig, SpadeNetClient, SpadeNetServer,
+};
 use std::error::Error;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -88,7 +90,7 @@ USAGE:
                  [--partition hash|connectivity|conn:<max_component>]
                  [--top N] [--repair] [--repair-hops K] [--rebalance]
   spade serve    --listen <addr> [--shards N] [--metric dg|dw|fd]
-                 [--metrics <addr>] [...]
+                 [--metrics <addr>] [--net-workers N] [...]
   spade ingest   <addr> <edges.txt> [--batch N] [--pipeline N]
                  [--deadline-ms F] [--detect] [--stats] [--shutdown]
   spade watch    <addr> [--interval ms] [--count N]
@@ -128,7 +130,10 @@ component; a final pass runs before the report.
 server on <addr> (port 0 picks a free port; the bound address is
 printed) and bridges producer frames straight into the sharded runtime —
 a full shard queue answers Busy over the wire instead of blocking the
-connection. The server runs until a producer sends the Shutdown frame
+connection. All connections are multiplexed onto a small reactor pool of
+`--net-workers` event-loop threads (default 2) with a per-connection
+frame budget per readiness cycle, so one firehose producer cannot starve
+other connections of acks. The server runs until a producer sends the Shutdown frame
 (`spade ingest --shutdown`), then prints the usual sharded report plus
 connection/frame/busy transport counters. `spade ingest <addr> <file>`
 is the matching producer: it replays an edge list with `--batch`-sized
@@ -386,13 +391,23 @@ fn serve_listen(args: &Args, shards: usize, addr: &str) -> Result<(), AnyError> 
     let top = args.num_opt("top", 3usize)?.max(1);
     let config = sharded_config_from(args, shards)?;
     let rebalance = args.flag("rebalance");
+    // `--net-workers N`: event-loop threads in the reactor pool. Every
+    // connection is multiplexed onto one of these; 2 keeps accept and
+    // drain responsive without dedicating a thread per connection.
+    let net_workers = args.num_opt("net-workers", ReactorConfig::default().workers)?.max(1);
     let service = Arc::new(ShardedSpadeService::spawn(metric, config));
-    let server = SpadeNetServer::bind(Arc::clone(&service), addr)
-        .map_err(|e| format!("cannot listen on {addr}: {e}"))?;
+    let server = SpadeNetServer::bind_with(
+        Arc::clone(&service),
+        addr,
+        ReactorConfig { workers: net_workers, ..Default::default() },
+    )
+    .map_err(|e| format!("cannot listen on {addr}: {e}"))?;
     println!(
-        "listening on {} ({} shards); stop with a Shutdown frame (`spade ingest ... --shutdown`)",
+        "listening on {} ({} shards, {} net workers); stop with a Shutdown frame \
+         (`spade ingest ... --shutdown`)",
         server.local_addr(),
         shards,
+        net_workers,
     );
     // `--metrics <addr>` serves the live Prometheus exposition over
     // HTTP: the runtime's merged registry snapshot plus the transport

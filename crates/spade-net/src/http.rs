@@ -16,13 +16,17 @@
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-/// How long the accept loop sleeps when no scrape is pending.
-const ACCEPT_POLL: Duration = Duration::from_millis(10);
+/// Upper bound on one readiness wait for the next scrape — a pending
+/// connection wakes the `poll(2)` immediately, so this only bounds how
+/// long a stop request can go unnoticed (the old sleep-polling accept
+/// loop is retired in favor of the reactor's readiness primitive).
+const ACCEPT_WAIT: Duration = Duration::from_millis(50);
 /// Upper bound on waiting for a scraper to send its request line.
 const REQUEST_TIMEOUT: Duration = Duration::from_millis(500);
 
@@ -108,9 +112,11 @@ fn accept_loop(listener: TcpListener, render: Arc<RenderFn>, stop: Arc<AtomicBoo
                 let _ = stream.flush();
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(ACCEPT_POLL);
+                // Park in poll(2) until a scrape arrives (or the wait
+                // bound elapses and the stop flag is re-checked).
+                let _ = crate::reactor::wait_readable(listener.as_raw_fd(), ACCEPT_WAIT);
             }
-            Err(_) => std::thread::sleep(ACCEPT_POLL),
+            Err(_) => std::thread::sleep(ACCEPT_WAIT),
         }
     }
 }

@@ -3,8 +3,10 @@
 //! The network ingest front end of the Spade runtime: a length-prefixed
 //! binary wire protocol ([`WireFrame`]), a multi-producer TCP server
 //! ([`SpadeNetServer`]) that bridges decoded frames into the sharded
-//! detection runtime, and a batching, pipelining client
-//! ([`SpadeNetClient`]) for producers.
+//! detection runtime over a readiness-based reactor (a fixed pool of
+//! `poll(2)` event-loop workers with per-connection fairness budgets —
+//! see [`ReactorConfig`] and the [`reactor`] module), and a batching,
+//! pipelining client ([`SpadeNetClient`]) for producers.
 //!
 //! The paper frames Spade as a *real-time* system fed by live transaction
 //! streams; until now the runtime only ingested from in-process
@@ -43,11 +45,13 @@
 
 pub mod client;
 pub mod http;
+pub mod reactor;
 pub mod server;
 pub mod wire;
 
 pub use client::{ClientConfig, ClientStats, SpadeNetClient};
 pub use http::MetricsHttpServer;
+pub use reactor::ReactorConfig;
 pub use server::{NetStats, SpadeNetServer};
 pub use wire::{
     read_frame, write_frame, DetectionReply, FrameDecoder, MetricsReply, StatsReply, WireError,

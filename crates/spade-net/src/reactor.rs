@@ -1,0 +1,620 @@
+//! A readiness-based event loop for the ingest front end.
+//!
+//! The thread-per-connection server topped out at "one OS thread per
+//! producer"; this module replaces it with a small fixed pool of
+//! event-loop workers, each multiplexing many nonblocking sockets over
+//! `poll(2)`. The syscall is reached through a direct `extern "C"`
+//! binding — the vendored-shim policy holds: no new external crates, no
+//! libc dependency, just the one POSIX entry point the loop needs.
+//!
+//! Shape of the loop (one per worker thread):
+//!
+//! * **Worker 0 owns the listener.** Accepted sockets are handed out
+//!   round-robin across the pool through per-worker inboxes; a
+//!   `UnixStream` wake pipe per worker interrupts its `poll` so adoption
+//!   is prompt. This also retires the old `ACCEPT_POLL` sleep-poll — the
+//!   listener is just another readable fd in worker 0's poll set.
+//! * **Fairness is budgeted.** Each readiness cycle visits connections
+//!   in a rotating order and applies at most
+//!   [`ReactorConfig::frame_budget`] frames per connection before moving
+//!   on, so a firehose producer with a deep kernel receive buffer cannot
+//!   monopolize the cycle; leftover buffered frames keep the loop hot
+//!   (zero poll timeout) and are drained next cycle. Exhaustions are
+//!   counted (`spade_net_reactor_budget_exhausted_total`).
+//! * **Writes never block the loop.** Replies land in a per-connection
+//!   pending-write buffer flushed only while the socket accepts bytes;
+//!   a slow reader accumulates backlog until
+//!   [`ReactorConfig::max_pending_write`], at which point the loop stops
+//!   *reading* from that connection (back-pressure through the kernel
+//!   window) but keeps every other connection moving.
+//! * **Nothing on the loop blocks on the runtime.** Ingest goes through
+//!   `try_submit`/`submit_batch` exactly as before, and the one formerly
+//!   blocking wait — read-your-acks `Detect` — becomes a deferred reply:
+//!   the connection parks (reads paused, replies in order preserved)
+//!   until the shards' applied total reaches the acknowledged watermark,
+//!   checked once per cycle.
+//!
+//! Per-loop observability rides the transport's existing
+//! [`spade_metrics::MetricsRegistry`]: connections resident
+//! (`spade_net_reactor_connections_resident`), readiness wakeups
+//! (`spade_net_reactor_wakeups_total`), drain-budget exhaustions, and a
+//! per-cycle dispatch latency histogram
+//! (`spade_net_reactor_dispatch_ns`).
+
+use crate::server::{
+    apply_frame, register_conn, write_detection, ConnCounters, FrameStep, NetTelemetry,
+};
+use crate::wire::{write_frame, FrameDecoder, WireFrame};
+use parking_lot::Mutex;
+use spade_core::shard::ShardedSpadeService;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::fd::{AsRawFd, RawFd};
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, AtomicI64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Upper bound on waiting for acknowledged edges to be applied before a
+/// deferred Detect answers anyway. Acked edges always drain (workers
+/// never drop queued commands), so this only fires if the runtime is
+/// torn down under a live connection.
+const DETECT_DEADLINE: Duration = Duration::from_secs(10);
+/// Poll timeout while every connection is idle — bounds how long a stop
+/// request can go unnoticed without a wake byte.
+const IDLE_POLL_MS: i32 = 50;
+
+// ---------------------------------------------------------------------
+// poll(2), bound directly. `pollfd` layout and event bits are POSIX.
+// ---------------------------------------------------------------------
+
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct PollFd {
+    fd: RawFd,
+    events: i16,
+    revents: i16,
+}
+
+const POLLIN: i16 = 0x001;
+const POLLOUT: i16 = 0x004;
+const POLLERR: i16 = 0x008;
+const POLLHUP: i16 = 0x010;
+const POLLNVAL: i16 = 0x020;
+
+extern "C" {
+    fn poll(
+        fds: *mut PollFd,
+        nfds: core::ffi::c_ulong,
+        timeout: core::ffi::c_int,
+    ) -> core::ffi::c_int;
+}
+
+/// `poll(2)` over `fds`, retrying on `EINTR`. Returns the number of fds
+/// with events.
+fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> std::io::Result<usize> {
+    loop {
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as core::ffi::c_ulong, timeout_ms) };
+        if rc >= 0 {
+            return Ok(rc as usize);
+        }
+        let err = std::io::Error::last_os_error();
+        if err.kind() != std::io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+    }
+}
+
+/// Blocks up to `timeout` for `fd` to become readable. The
+/// readiness-wait primitive the HTTP exporter uses in place of its old
+/// accept-loop sleep poll.
+pub(crate) fn wait_readable(fd: RawFd, timeout: Duration) -> std::io::Result<bool> {
+    let mut fds = [PollFd { fd, events: POLLIN, revents: 0 }];
+    let ms = timeout.as_millis().min(i32::MAX as u128) as i32;
+    Ok(poll_fds(&mut fds, ms)? > 0 && fds[0].revents != 0)
+}
+
+// ---------------------------------------------------------------------
+// Configuration and pool scaffolding.
+// ---------------------------------------------------------------------
+
+/// Tuning knobs of the reactor worker pool (`serve --listen
+/// --net-workers N` surfaces `workers`).
+#[derive(Clone, Copy, Debug)]
+pub struct ReactorConfig {
+    /// Event-loop worker threads; connections are assigned round-robin.
+    pub workers: usize,
+    /// Frames decoded and applied per connection per readiness cycle —
+    /// the fan-in fairness knob. Leftovers stay buffered and the loop
+    /// re-runs immediately, so the budget bounds burst monopoly, not
+    /// throughput.
+    pub frame_budget: usize,
+    /// Bytes read per connection per cycle (one `read` call each).
+    pub read_chunk: usize,
+    /// Pending-write backlog (bytes) at which the loop stops reading
+    /// from a connection until its peer drains replies — a slow reader
+    /// back-pressures itself, never the loop.
+    pub max_pending_write: usize,
+}
+
+impl Default for ReactorConfig {
+    fn default() -> Self {
+        ReactorConfig {
+            workers: 2,
+            frame_budget: 32,
+            read_chunk: 64 * 1024,
+            max_pending_write: 256 * 1024,
+        }
+    }
+}
+
+/// A worker's adoption inbox: accepted sockets with their counters.
+type Inbox = Mutex<Vec<(TcpStream, Arc<ConnCounters>)>>;
+
+/// State shared by every worker in one reactor.
+struct Shared {
+    service: Arc<ShardedSpadeService>,
+    stop: Arc<AtomicBool>,
+    telemetry: Arc<NetTelemetry>,
+    config: ReactorConfig,
+    /// Live connections across all workers (drives the resident gauge;
+    /// signed so a racy decrement can never wrap a gauge to 2^64).
+    resident: AtomicI64,
+    /// Accepted sockets awaiting adoption, one inbox per worker.
+    inboxes: Vec<Inbox>,
+    /// Write ends of each worker's wake pipe.
+    wakers: Vec<UnixStream>,
+}
+
+impl Shared {
+    fn wake(&self, worker: usize) {
+        // A failed wake is harmless: the worker's idle poll timeout
+        // bounds the delay instead.
+        let _ = (&self.wakers[worker]).write(&[1u8]);
+    }
+
+    fn wake_all(&self) {
+        for w in 0..self.wakers.len() {
+            self.wake(w);
+        }
+    }
+}
+
+/// A running pool of event-loop workers. Dropping (via
+/// [`Reactor::join`]) stops and joins every worker.
+pub(crate) struct Reactor {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Reactor {
+    /// Spawns `config.workers` event loops; worker 0 adopts `listener`.
+    pub(crate) fn start(
+        listener: TcpListener,
+        service: Arc<ShardedSpadeService>,
+        stop: Arc<AtomicBool>,
+        telemetry: Arc<NetTelemetry>,
+        mut config: ReactorConfig,
+    ) -> std::io::Result<Reactor> {
+        config.workers = config.workers.clamp(1, 64);
+        config.frame_budget = config.frame_budget.max(1);
+        config.read_chunk = config.read_chunk.clamp(1024, 1 << 22);
+        config.max_pending_write = config.max_pending_write.max(4096);
+        let mut wakers = Vec::with_capacity(config.workers);
+        let mut wake_rxs = Vec::with_capacity(config.workers);
+        for _ in 0..config.workers {
+            let (tx, rx) = UnixStream::pair()?;
+            tx.set_nonblocking(true)?;
+            rx.set_nonblocking(true)?;
+            wakers.push(tx);
+            wake_rxs.push(rx);
+        }
+        let shared = Arc::new(Shared {
+            service,
+            stop,
+            telemetry,
+            config,
+            resident: AtomicI64::new(0),
+            inboxes: (0..config.workers).map(|_| Mutex::new(Vec::new())).collect(),
+            wakers,
+        });
+        let mut listener = Some(listener);
+        let workers = wake_rxs
+            .into_iter()
+            .enumerate()
+            .map(|(idx, wake_rx)| {
+                let shared = Arc::clone(&shared);
+                let listener = if idx == 0 { listener.take() } else { None };
+                std::thread::Builder::new()
+                    .name(format!("spade-net-loop-{idx}"))
+                    .spawn(move || run_worker(idx, listener, wake_rx, &shared))
+                    .expect("failed to spawn a reactor worker")
+            })
+            .collect();
+        Ok(Reactor { shared, workers })
+    }
+
+    /// Interrupts every worker's poll so a stop request is seen now.
+    pub(crate) fn wake_all(&self) {
+        self.shared.wake_all();
+    }
+
+    /// Wakes and joins every worker (the stop flag must already be set).
+    pub(crate) fn join(&mut self) {
+        self.shared.wake_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-connection state and the worker loop.
+// ---------------------------------------------------------------------
+
+/// One multiplexed producer connection.
+struct Conn {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    /// Pending reply bytes: `out[out_cursor..]` is not yet written.
+    out: Vec<u8>,
+    out_cursor: usize,
+    counters: Arc<ConnCounters>,
+    /// A parked read-your-acks Detect: `(acked watermark, deadline)`.
+    /// While set, no further frames are applied (replies stay in request
+    /// order) and the socket is not read.
+    pending_detect: Option<(u64, Instant)>,
+    /// Reply written for a frame that ends the connection; close once
+    /// the out buffer drains.
+    closing: bool,
+    /// Peer half-closed; drain buffered frames, then close.
+    eof: bool,
+    /// Budget exhausted with bytes still buffered — poll with zero
+    /// timeout so the leftovers drain next cycle.
+    hot: bool,
+}
+
+impl Conn {
+    fn pending_out(&self) -> usize {
+        self.out.len() - self.out_cursor
+    }
+}
+
+/// Resolved metric handles, one set per worker (same registry names, so
+/// the exposition aggregates the pool).
+struct LoopMetrics {
+    resident: Arc<spade_metrics::Gauge>,
+    wakeups: Arc<spade_metrics::Counter>,
+    budget_exhausted: Arc<spade_metrics::Counter>,
+    dispatch: Arc<spade_metrics::Histogram>,
+}
+
+impl LoopMetrics {
+    fn resolve(telemetry: &NetTelemetry) -> LoopMetrics {
+        let r = telemetry.registry();
+        LoopMetrics {
+            resident: r.gauge("spade_net_reactor_connections_resident"),
+            wakeups: r.counter("spade_net_reactor_wakeups_total"),
+            budget_exhausted: r.counter("spade_net_reactor_budget_exhausted_total"),
+            dispatch: r.histogram("spade_net_reactor_dispatch_ns"),
+        }
+    }
+}
+
+fn run_worker(idx: usize, listener: Option<TcpListener>, wake_rx: UnixStream, shared: &Shared) {
+    let metrics = LoopMetrics::resolve(&shared.telemetry);
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut next_conn_id = 0u64; // worker 0 only (owns the listener)
+    let mut rotate = 0usize;
+    let mut chunk = vec![0u8; shared.config.read_chunk];
+
+    while !shared.stop.load(Ordering::Acquire) {
+        // Leftover buffered frames or a parked Detect need a prompt
+        // re-visit; otherwise sleep until readiness or the idle bound.
+        let mut timeout = IDLE_POLL_MS;
+        for c in &conns {
+            if c.hot {
+                timeout = 0;
+            } else if c.pending_detect.is_some() {
+                timeout = timeout.min(1);
+            }
+        }
+
+        let mut fds = Vec::with_capacity(conns.len() + 2);
+        fds.push(PollFd { fd: wake_rx.as_raw_fd(), events: POLLIN, revents: 0 });
+        if let Some(l) = listener.as_ref() {
+            fds.push(PollFd { fd: l.as_raw_fd(), events: POLLIN, revents: 0 });
+        }
+        let base = fds.len();
+        for c in &conns {
+            let paused = c.pending_detect.is_some()
+                || c.closing
+                || c.eof
+                || c.pending_out() >= shared.config.max_pending_write;
+            let mut events = 0i16;
+            if !paused {
+                events |= POLLIN;
+            }
+            if c.pending_out() > 0 {
+                events |= POLLOUT;
+            }
+            fds.push(PollFd { fd: c.stream.as_raw_fd(), events, revents: 0 });
+        }
+
+        if poll_fds(&mut fds, timeout).is_err() {
+            // A transient poll failure must not spin the loop hot.
+            std::thread::sleep(Duration::from_millis(1));
+            continue;
+        }
+        metrics.wakeups.inc();
+        let dispatch_started = Instant::now();
+
+        if fds[0].revents != 0 {
+            let mut sink = [0u8; 64];
+            while matches!((&wake_rx).read(&mut sink), Ok(n) if n > 0) {}
+        }
+
+        // Adopt handed-over sockets, then accept fresh ones (worker 0).
+        let adopted = std::mem::take(&mut *shared.inboxes[idx].lock());
+        for (stream, counters) in adopted {
+            conns.push(new_conn(stream, counters));
+        }
+        if let Some(l) = listener.as_ref() {
+            accept_ready(l, &mut next_conn_id, &mut conns, shared);
+        }
+
+        // Service connections in a rotating order: whoever went last
+        // cycle goes first eventually, so a budget-capped firehose can
+        // never push a drip producer to the end of every cycle.
+        let len = conns.len();
+        let mut dead = Vec::new();
+        for k in 0..len {
+            let i = (rotate + k) % len;
+            let revents = fds.get(base + i).map(|f| f.revents).unwrap_or(0);
+            if !service_conn(&mut conns[i], revents, shared, &metrics, &mut chunk) {
+                dead.push(i);
+            }
+        }
+        rotate = rotate.wrapping_add(1);
+        if !dead.is_empty() {
+            dead.sort_unstable();
+            for i in dead.into_iter().rev() {
+                conns.swap_remove(i);
+            }
+        }
+        let resident = shared.resident.load(Ordering::Relaxed);
+        metrics.resident.set(resident.max(0) as u64);
+
+        metrics.dispatch.record_duration(dispatch_started.elapsed());
+    }
+
+    // Wind-down: one best-effort flush per connection so replies already
+    // produced (e.g. the Shutdown Ack) reach their producers.
+    for c in &mut conns {
+        let _ = flush_out(c);
+        shared.resident.fetch_sub(1, Ordering::Relaxed);
+    }
+    let resident = shared.resident.load(Ordering::Relaxed);
+    metrics.resident.set(resident.max(0) as u64);
+}
+
+fn new_conn(stream: TcpStream, counters: Arc<ConnCounters>) -> Conn {
+    Conn {
+        stream,
+        decoder: FrameDecoder::new(),
+        out: Vec::new(),
+        out_cursor: 0,
+        counters,
+        pending_detect: None,
+        closing: false,
+        eof: false,
+        hot: false,
+    }
+}
+
+/// Drains the listener, assigning each new socket round-robin across
+/// the pool (worker 0 keeps its own share).
+fn accept_ready(
+    listener: &TcpListener,
+    next_conn_id: &mut u64,
+    own: &mut Vec<Conn>,
+    shared: &Shared,
+) {
+    loop {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if stream.set_nonblocking(true).is_err() {
+                    continue;
+                }
+                stream.set_nodelay(true).ok();
+                *next_conn_id += 1;
+                let id = *next_conn_id;
+                let counters = register_conn(&shared.telemetry, id);
+                shared.resident.fetch_add(1, Ordering::Relaxed);
+                let target = (id as usize - 1) % shared.config.workers;
+                if target == 0 {
+                    own.push(new_conn(stream, counters));
+                } else {
+                    shared.inboxes[target].lock().push((stream, counters));
+                    shared.wake(target);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(_) => break,
+        }
+    }
+}
+
+/// One readiness-cycle visit to one connection. Returns `false` once
+/// the connection is finished and must be dropped.
+fn service_conn(
+    c: &mut Conn,
+    revents: i16,
+    shared: &Shared,
+    metrics: &LoopMetrics,
+    chunk: &mut [u8],
+) -> bool {
+    c.hot = false;
+    if revents & (POLLERR | POLLNVAL) != 0 {
+        return drop_conn(c, shared);
+    }
+
+    // Flush first: freeing reply backlog may unpause reading below.
+    if !flush_out(c) {
+        return drop_conn(c, shared);
+    }
+
+    // A parked Detect answers once the shards catch up to the
+    // acknowledged watermark (or the teardown deadline passes). Until
+    // then nothing else on this connection is read or applied, so the
+    // reply order the producer sees is unchanged from the blocking
+    // server.
+    if let Some((watermark, deadline)) = c.pending_detect {
+        if crate::server::applied_total(&shared.service) >= watermark || Instant::now() >= deadline
+        {
+            c.pending_detect = None;
+            write_detection(&shared.service, &mut c.out);
+        }
+    }
+
+    if revents & (POLLIN | POLLHUP) != 0
+        && c.pending_detect.is_none()
+        && !c.closing
+        && !c.eof
+        && c.pending_out() < shared.config.max_pending_write
+    {
+        match c.stream.read(chunk) {
+            Ok(0) => c.eof = true,
+            Ok(n) => {
+                c.counters.bytes.fetch_add(n as u64, Ordering::Relaxed);
+                c.decoder.extend(&chunk[..n]);
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return drop_conn(c, shared),
+        }
+    }
+
+    // Apply at most `frame_budget` frames, then yield the cycle to the
+    // other connections — fan-in fairness.
+    let budget = shared.config.frame_budget;
+    let mut applied = 0usize;
+    while applied < budget && c.pending_detect.is_none() && !c.closing {
+        match c.decoder.next_frame() {
+            Ok(Some(frame)) => {
+                applied += 1;
+                shared.telemetry.count_frame(&c.counters);
+                match apply_frame(
+                    frame,
+                    &shared.service,
+                    &shared.stop,
+                    &shared.telemetry,
+                    &c.counters,
+                    &mut c.out,
+                ) {
+                    FrameStep::Continue => {}
+                    FrameStep::Close => c.closing = true,
+                    FrameStep::Defer { watermark } => {
+                        c.pending_detect = Some((watermark, Instant::now() + DETECT_DEADLINE));
+                    }
+                }
+            }
+            Ok(None) => break,
+            Err(err) => {
+                shared.telemetry.count_malformed();
+                write_frame(&mut c.out, &WireFrame::Error { message: err.to_string() })
+                    .expect("writing a frame to a Vec cannot fail");
+                c.closing = true;
+            }
+        }
+    }
+    if applied == budget && c.decoder.buffered() > 0 {
+        metrics.budget_exhausted.inc();
+        c.hot = true;
+    }
+    if (c.pending_detect.is_some() || c.eof) && c.decoder.buffered() > 0 {
+        // Parked or half-closed with bytes still queued: revisit soon.
+        c.hot = true;
+    }
+
+    if !flush_out(c) {
+        return drop_conn(c, shared);
+    }
+    if c.closing && c.pending_out() == 0 {
+        return drop_conn(c, shared);
+    }
+    if c.eof && c.pending_out() == 0 && c.pending_detect.is_none() && applied == 0 {
+        // Peer gone, replies delivered, and the residual buffer holds no
+        // complete frame: nothing left to do.
+        return drop_conn(c, shared);
+    }
+    true
+}
+
+fn drop_conn(c: &mut Conn, shared: &Shared) -> bool {
+    let _ = flush_out(c);
+    shared.resident.fetch_sub(1, Ordering::Relaxed);
+    false
+}
+
+/// Writes pending reply bytes until the socket would block. Returns
+/// `false` on a fatal socket error.
+fn flush_out(c: &mut Conn) -> bool {
+    while c.out_cursor < c.out.len() {
+        match (&c.stream).write(&c.out[c.out_cursor..]) {
+            Ok(0) => return false,
+            Ok(n) => c.out_cursor += n,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return false,
+        }
+    }
+    if c.out_cursor >= c.out.len() {
+        c.out.clear();
+        c.out_cursor = 0;
+    } else if c.out_cursor > 64 * 1024 {
+        // Reclaim the written prefix of a long-lived backlog.
+        c.out.drain(..c.out_cursor);
+        c.out_cursor = 0;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn wait_readable_reports_idle_then_ready() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        listener.set_nonblocking(true).expect("nonblocking");
+        let fd = listener.as_raw_fd();
+        // Nothing pending: the wait times out false.
+        assert!(!wait_readable(fd, Duration::from_millis(10)).expect("poll"));
+        // A pending connection flips it true well before the timeout.
+        let _client = std::net::TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        assert!(wait_readable(fd, Duration::from_secs(5)).expect("poll"));
+    }
+
+    #[test]
+    fn poll_handles_many_fds_in_one_call() {
+        let listeners: Vec<TcpListener> =
+            (0..8).map(|_| TcpListener::bind("127.0.0.1:0").expect("bind")).collect();
+        let mut fds: Vec<PollFd> = listeners
+            .iter()
+            .map(|l| PollFd { fd: l.as_raw_fd(), events: POLLIN, revents: 0 })
+            .collect();
+        // All idle.
+        assert_eq!(poll_fds(&mut fds, 0).expect("poll"), 0);
+        // Exactly the listeners with a pending connection turn ready.
+        let _a = std::net::TcpStream::connect(listeners[2].local_addr().unwrap()).unwrap();
+        let _b = std::net::TcpStream::connect(listeners[5].local_addr().unwrap()).unwrap();
+        let ready = poll_fds(&mut fds, 1000).expect("poll");
+        assert_eq!(ready, 2);
+        assert!(fds[2].revents & POLLIN != 0);
+        assert!(fds[5].revents & POLLIN != 0);
+    }
+}

@@ -1,47 +1,45 @@
 //! The multi-producer TCP front end of the sharded runtime.
 //!
-//! [`SpadeNetServer`] binds a `std::net` listener, accepts any number of
-//! producer connections, and bridges decoded [`WireFrame`]s into a shared
-//! [`ShardedSpadeService`] — one OS thread per connection, each feeding
-//! the same routing table and per-shard bounded queues the in-process
-//! `submit` path uses. Two properties make the bridge safe under load:
+//! [`SpadeNetServer`] binds a `std::net` listener and bridges decoded
+//! [`WireFrame`]s into a shared [`ShardedSpadeService`]. Connections are
+//! multiplexed by a fixed pool of readiness-driven event-loop workers
+//! (see [`crate::reactor`]) rather than one OS thread per producer, so
+//! fan-in scales with sockets, not threads. Three properties make the
+//! bridge safe under load:
 //!
 //! * **Back-pressure crosses the wire.** Ingest goes through
 //!   [`ShardedSpadeService::try_submit`]; a full shard queue turns into a
 //!   [`WireFrame::Busy`] reply carrying the count of edges that *were*
-//!   enqueued, and the producer retries the rest. The accept loop and
-//!   every other connection keep moving — one back-pressured shard never
-//!   head-of-line-blocks the listener.
+//!   enqueued, and the producer retries the rest. The event loop never
+//!   blocks on the runtime — one back-pressured shard never
+//!   head-of-line-blocks the listener or any other connection.
 //! * **Acknowledgement is enqueue.** An edge is counted in an Ack/Busy
 //!   `accepted` total only after `try_submit` queued it, and every queued
 //!   command is drained before shutdown completes — so the sum of
 //!   acknowledged edges equals the shards' `updates_applied` total at
 //!   shutdown. The back-pressure integration test pins this down.
+//! * **Fan-in is fair.** Each readiness cycle grants every connection a
+//!   bounded frame budget and buffers replies per connection, so a
+//!   firehose producer can neither starve others of Acks nor wedge the
+//!   loop on a slow reader (see `ReactorConfig`).
 //!
 //! A malformed frame (bad opcode, truncated section, oversized length
 //! prefix) earns the producer an [`WireFrame::Error`] reply and its
 //! connection is closed; the server itself never panics on wire input.
 
-use crate::wire::{
-    write_frame, FrameDecoder, MetricsReply, StatsReply, WireFrame, METRICS_VERSION,
-};
+use crate::reactor::{Reactor, ReactorConfig};
+use crate::wire::{write_frame, MetricsReply, StatsReply, WireFrame, METRICS_VERSION};
 use parking_lot::Mutex;
 use spade_core::shard::ShardedSpadeService;
 use spade_core::TrySubmit;
 use spade_graph::VertexId;
 use spade_metrics::MetricsSnapshot;
 use std::collections::BTreeMap;
-use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::thread::JoinHandle;
 use std::time::Duration;
 
-/// How long a connection read blocks before re-checking the stop flag.
-const READ_POLL: Duration = Duration::from_millis(50);
-/// How long the accept loop sleeps when no connection is pending.
-const ACCEPT_POLL: Duration = Duration::from_millis(10);
 /// Most per-connection counter sets kept for the metrics exposition.
 /// The global totals stay exact forever; labeled `conn="N"` series are a
 /// sliding window over the most recent connections so a long-lived
@@ -51,31 +49,68 @@ const MAX_TRACKED_CONNS: usize = 64;
 /// Per-connection transport counters, exposed as labeled series in the
 /// metrics exposition (`spade_net_connection_frames{conn="N"}` …).
 #[derive(Debug, Default)]
-struct ConnCounters {
-    frames: AtomicU64,
-    bytes: AtomicU64,
-    busy_replies: AtomicU64,
+pub(crate) struct ConnCounters {
+    pub(crate) frames: AtomicU64,
+    pub(crate) bytes: AtomicU64,
+    pub(crate) busy_replies: AtomicU64,
 }
 
-/// Monotonic transport counters (shared by all connection handlers).
+/// Monotonic transport counters (shared by every event-loop worker).
 #[derive(Debug, Default)]
-struct NetTelemetry {
-    connections: AtomicU64,
-    frames: AtomicU64,
-    edges_accepted: AtomicU64,
-    busy_replies: AtomicU64,
-    malformed_frames: AtomicU64,
+pub(crate) struct NetTelemetry {
+    pub(crate) connections: AtomicU64,
+    pub(crate) frames: AtomicU64,
+    pub(crate) edges_accepted: AtomicU64,
+    pub(crate) busy_replies: AtomicU64,
+    pub(crate) malformed_frames: AtomicU64,
     /// Live + recently closed connections, keyed by accept order.
     per_conn: Mutex<BTreeMap<u64, Arc<ConnCounters>>>,
-    /// Transport-side event trace (Busy bounces, malformed frames) —
-    /// merged into the runtime's trace in the metrics snapshot.
+    /// Transport-side event trace (Busy bounces, malformed frames) plus
+    /// the reactor's per-loop series — merged into the runtime's trace
+    /// in the metrics snapshot.
     registry: spade_metrics::MetricsRegistry,
+}
+
+impl NetTelemetry {
+    /// The transport's own registry (reactor loops resolve their gauge /
+    /// counter / histogram handles here).
+    pub(crate) fn registry(&self) -> &spade_metrics::MetricsRegistry {
+        &self.registry
+    }
+
+    /// Counts one decoded frame, globally and per connection.
+    pub(crate) fn count_frame(&self, conn: &ConnCounters) {
+        self.frames.fetch_add(1, Ordering::Relaxed);
+        conn.frames.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one malformed frame (the connection is about to close).
+    pub(crate) fn count_malformed(&self) {
+        self.malformed_frames.fetch_add(1, Ordering::Relaxed);
+        self.registry.event(spade_metrics::EventKind::MalformedFrame, 0);
+    }
+}
+
+/// Registers a freshly accepted connection: bumps the accept total and
+/// tracks its counters in the bounded labeled-series window.
+pub(crate) fn register_conn(telemetry: &NetTelemetry, conn_id: u64) -> Arc<ConnCounters> {
+    telemetry.connections.fetch_add(1, Ordering::Relaxed);
+    let conn = Arc::new(ConnCounters::default());
+    let mut per_conn = telemetry.per_conn.lock();
+    per_conn.insert(conn_id, Arc::clone(&conn));
+    // Oldest connections age out of the labeled series window (the
+    // global totals already counted them).
+    while per_conn.len() > MAX_TRACKED_CONNS {
+        let oldest = *per_conn.keys().next().expect("non-empty map");
+        per_conn.remove(&oldest);
+    }
+    conn
 }
 
 /// Renders the transport counters as a [`MetricsSnapshot`] ready to
 /// merge with [`ShardedSpadeService::metrics`]: global totals plus one
 /// labeled series triple per tracked connection, plus the transport's
-/// event trace.
+/// event trace and the reactor's per-loop series.
 fn net_snapshot(telemetry: &NetTelemetry) -> MetricsSnapshot {
     let mut snap = telemetry.registry.snapshot();
     let mut c = |name: &str, v: u64| {
@@ -120,8 +155,8 @@ pub struct NetStats {
 
 /// A running TCP ingest server wrapped around a shared sharded runtime.
 ///
-/// Dropping the handle stops the listener and joins every connection
-/// handler (mirroring the worker-join discipline of [`SpadeService`]'s
+/// Dropping the handle stops the reactor and joins every event-loop
+/// worker (mirroring the worker-join discipline of [`SpadeService`]'s
 /// drop); the wrapped service itself is left running — shut it down
 /// through its own handle once `Arc::try_unwrap` succeeds.
 ///
@@ -130,36 +165,35 @@ pub struct SpadeNetServer {
     local_addr: SocketAddr,
     stop: Arc<AtomicBool>,
     telemetry: Arc<NetTelemetry>,
-    accept: Option<JoinHandle<()>>,
-    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    reactor: Option<Reactor>,
 }
 
 impl SpadeNetServer {
     /// Binds `addr` (use port 0 for an OS-assigned port — see
     /// [`local_addr`](Self::local_addr)) and starts accepting producers
-    /// into `service`.
+    /// into `service` with the default reactor tuning.
     pub fn bind<A: ToSocketAddrs>(
         service: Arc<ShardedSpadeService>,
         addr: A,
+    ) -> std::io::Result<SpadeNetServer> {
+        Self::bind_with(service, addr, ReactorConfig::default())
+    }
+
+    /// Binds `addr` with explicit reactor tuning (`serve --listen
+    /// --net-workers N` routes here).
+    pub fn bind_with<A: ToSocketAddrs>(
+        service: Arc<ShardedSpadeService>,
+        addr: A,
+        config: ReactorConfig,
     ) -> std::io::Result<SpadeNetServer> {
         let listener = TcpListener::bind(addr)?;
         let local_addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
         let stop = Arc::new(AtomicBool::new(false));
         let telemetry = Arc::new(NetTelemetry::default());
-        let handlers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
-        let accept = {
-            let stop = Arc::clone(&stop);
-            let telemetry = Arc::clone(&telemetry);
-            let handlers = Arc::clone(&handlers);
-            std::thread::Builder::new()
-                .name("spade-net-accept".into())
-                .spawn(move || {
-                    accept_loop(listener, service, stop, telemetry, handlers);
-                })
-                .expect("failed to spawn the accept thread")
-        };
-        Ok(SpadeNetServer { local_addr, stop, telemetry, accept: Some(accept), handlers })
+        let reactor =
+            Reactor::start(listener, service, Arc::clone(&stop), Arc::clone(&telemetry), config)?;
+        Ok(SpadeNetServer { local_addr, stop, telemetry, reactor: Some(reactor) })
     }
 
     /// The bound address (resolves port 0 to the real port).
@@ -174,14 +208,17 @@ impl SpadeNetServer {
         self.stop.load(Ordering::Acquire)
     }
 
-    /// Asks the accept loop and every connection handler to wind down
-    /// without blocking.
+    /// Asks every event-loop worker to wind down without blocking.
     pub fn stop(&self) {
         self.stop.store(true, Ordering::Release);
+        if let Some(reactor) = &self.reactor {
+            reactor.wake_all();
+        }
     }
 
     /// The transport's own counters as a [`MetricsSnapshot`] — global
-    /// totals plus per-connection `conn="N"`-labeled series. Merge with
+    /// totals, per-connection `conn="N"`-labeled series, and the
+    /// reactor's per-loop series. Merge with
     /// [`ShardedSpadeService::metrics`] for the full picture (the wire
     /// `Metrics` request does exactly that server-side).
     pub fn metrics(&self) -> MetricsSnapshot {
@@ -208,10 +245,10 @@ impl SpadeNetServer {
         }
     }
 
-    /// Stops the server, joins the accept loop and every connection
-    /// handler, and returns the final transport counters. Edges already
-    /// acknowledged sit in shard queues; drain them by shutting the
-    /// underlying service down afterwards.
+    /// Stops the server, joins every event-loop worker, and returns the
+    /// final transport counters. Edges already acknowledged sit in shard
+    /// queues; drain them by shutting the underlying service down
+    /// afterwards.
     pub fn shutdown(mut self) -> NetStats {
         self.join();
         self.stats()
@@ -219,12 +256,8 @@ impl SpadeNetServer {
 
     fn join(&mut self) {
         self.stop();
-        if let Some(accept) = self.accept.take() {
-            let _ = accept.join();
-        }
-        let handlers: Vec<JoinHandle<()>> = std::mem::take(&mut *self.handlers.lock());
-        for h in handlers {
-            let _ = h.join();
+        if let Some(mut reactor) = self.reactor.take() {
+            reactor.join();
         }
     }
 }
@@ -235,216 +268,114 @@ impl Drop for SpadeNetServer {
     }
 }
 
-fn accept_loop(
-    listener: TcpListener,
-    service: Arc<ShardedSpadeService>,
-    stop: Arc<AtomicBool>,
-    telemetry: Arc<NetTelemetry>,
-    handlers: Arc<Mutex<Vec<JoinHandle<()>>>>,
-) {
-    let mut conn_id = 0u64;
-    while !stop.load(Ordering::Acquire) {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                telemetry.connections.fetch_add(1, Ordering::Relaxed);
-                conn_id += 1;
-                let conn = Arc::new(ConnCounters::default());
-                {
-                    let mut per_conn = telemetry.per_conn.lock();
-                    per_conn.insert(conn_id, Arc::clone(&conn));
-                    // Oldest connections age out of the labeled series
-                    // window (the global totals already counted them).
-                    while per_conn.len() > MAX_TRACKED_CONNS {
-                        let oldest = *per_conn.keys().next().expect("non-empty map");
-                        per_conn.remove(&oldest);
-                    }
-                }
-                let service = Arc::clone(&service);
-                let stop = Arc::clone(&stop);
-                let telemetry = Arc::clone(&telemetry);
-                let handle = std::thread::Builder::new()
-                    .name(format!("spade-net-conn-{conn_id}"))
-                    .spawn(move || {
-                        let _ = handle_connection(stream, &service, &stop, &telemetry, &conn);
-                    })
-                    .expect("failed to spawn a connection handler");
-                // Reap finished handlers so a long-lived server's handle
-                // list tracks concurrent connections, not total accepts.
-                let mut handlers = handlers.lock();
-                handlers.retain(|h| !h.is_finished());
-                handlers.push(handle);
-            }
-            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(ACCEPT_POLL);
-            }
-            Err(_) => std::thread::sleep(ACCEPT_POLL),
-        }
-    }
+/// What the event loop must do after applying one frame.
+pub(crate) enum FrameStep {
+    /// Keep the connection; replies (if any) are in the out buffer.
+    Continue,
+    /// The reply ends the connection — close once the out buffer drains.
+    Close,
+    /// A read-your-acks Detect that cannot answer yet: park the
+    /// connection until the shards' applied total reaches `watermark`,
+    /// then write the detection reply.
+    Defer { watermark: u64 },
 }
 
-/// One producer connection: reassemble frames, bridge them into the
-/// service, reply in request order.
-fn handle_connection(
-    stream: TcpStream,
-    service: &ShardedSpadeService,
-    stop: &AtomicBool,
-    telemetry: &NetTelemetry,
-    conn: &ConnCounters,
-) -> std::io::Result<()> {
-    stream.set_nodelay(true).ok();
-    // A finite read timeout lets the handler notice the stop flag while
-    // idle; partial frames survive timeouts because the decoder buffers
-    // across reads.
-    stream.set_read_timeout(Some(READ_POLL))?;
-    let mut reader = stream.try_clone()?;
-    let mut writer = std::io::BufWriter::new(stream);
-    let mut decoder = FrameDecoder::new();
-    let mut chunk = vec![0u8; 64 * 1024];
-    'conn: while !stop.load(Ordering::Acquire) {
-        let n = match reader.read(&mut chunk) {
-            Ok(0) => break,
-            Ok(n) => n,
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                continue;
-            }
-            Err(_) => break,
-        };
-        conn.bytes.fetch_add(n as u64, Ordering::Relaxed);
-        decoder.extend(&chunk[..n]);
-        loop {
-            match decoder.next_frame() {
-                Ok(Some(frame)) => {
-                    telemetry.frames.fetch_add(1, Ordering::Relaxed);
-                    conn.frames.fetch_add(1, Ordering::Relaxed);
-                    if !handle_frame(frame, service, stop, telemetry, conn, &mut writer)? {
-                        writer.flush()?;
-                        break 'conn;
-                    }
-                }
-                Ok(None) => break,
-                Err(err) => {
-                    // Framing is untrustworthy from here on: answer with
-                    // the cause and hang up.
-                    telemetry.malformed_frames.fetch_add(1, Ordering::Relaxed);
-                    telemetry.registry.event(spade_metrics::EventKind::MalformedFrame, 0);
-                    let _ =
-                        write_frame(&mut writer, &WireFrame::Error { message: err.to_string() });
-                    writer.flush()?;
-                    break 'conn;
-                }
-            }
-        }
-        writer.flush()?;
-    }
-    Ok(())
-}
-
-/// Applies one decoded request, writing the reply (unflushed). Returns
-/// `false` when the connection must close.
-fn handle_frame<W: Write>(
+/// Applies one decoded request, appending any reply to `out` (flushed by
+/// the event loop, never here — no blocking on the reactor).
+pub(crate) fn apply_frame(
     frame: WireFrame,
     service: &ShardedSpadeService,
     stop: &AtomicBool,
     telemetry: &NetTelemetry,
     conn: &ConnCounters,
-    out: &mut W,
-) -> std::io::Result<bool> {
+    out: &mut Vec<u8>,
+) -> FrameStep {
+    let mut reply = |frame: &WireFrame| {
+        write_frame(out, frame).expect("writing a frame to a Vec cannot fail");
+    };
     match frame {
         WireFrame::Edge { src, dst, raw } => {
-            let (reply, alive) = submit_run(&[(src, dst, raw)], service, telemetry, conn);
-            write_frame(out, &reply)?;
-            Ok(alive)
+            let (frame, alive) = submit_run(&[(src, dst, raw)], service, telemetry, conn);
+            reply(&frame);
+            step_if(alive)
         }
         WireFrame::Batch { edges } => {
-            let (reply, alive) = submit_grouped(&edges, None, service, telemetry, conn);
-            write_frame(out, &reply)?;
-            Ok(alive)
+            let (frame, alive) = submit_grouped(&edges, None, service, telemetry, conn);
+            reply(&frame);
+            step_if(alive)
         }
         WireFrame::BatchBudget { budget_us, edges } => {
             let budget = (budget_us > 0).then(|| Duration::from_micros(u64::from(budget_us)));
-            let (reply, alive) = submit_grouped(&edges, budget, service, telemetry, conn);
-            write_frame(out, &reply)?;
-            Ok(alive)
+            let (frame, alive) = submit_grouped(&edges, budget, service, telemetry, conn);
+            reply(&frame);
+            step_if(alive)
         }
         WireFrame::Flush => {
+            // The one channel send on the event loop: Flush posts a
+            // marker command per shard and returns without waiting for
+            // it to apply. The flush channel is the same bounded queue
+            // ingest uses, but a producer only sends Flush after its
+            // pipeline drained, so the queues have room by construction.
             if service.flush() {
-                write_frame(out, &WireFrame::Ack { accepted: 0 })?;
-                Ok(true)
+                reply(&WireFrame::Ack { accepted: 0 });
+                FrameStep::Continue
             } else {
-                write_frame(out, &WireFrame::Error { message: "runtime has shut down".into() })?;
-                Ok(false)
+                reply(&WireFrame::Error { message: "runtime has shut down".into() });
+                FrameStep::Close
             }
         }
         WireFrame::Detect => {
             // Read-your-acks: every edge the server acknowledged before
-            // this request must be reflected in the answer, so wait for
-            // the shards to apply what is already queued. Acked edges
-            // always drain (workers never drop queued commands), so the
-            // deadline only matters if the runtime is torn down under us.
+            // this request must be reflected in the answer. If the
+            // shards already caught up, answer inline; otherwise park
+            // the connection — the event loop re-checks the watermark
+            // every cycle instead of blocking here.
             let acked = telemetry.edges_accepted.load(Ordering::Acquire);
-            let deadline = std::time::Instant::now() + Duration::from_secs(10);
-            while applied_total(service) < acked && std::time::Instant::now() < deadline {
-                std::thread::sleep(Duration::from_millis(1));
+            if applied_total(service) >= acked {
+                write_detection(service, out);
+                FrameStep::Continue
+            } else {
+                FrameStep::Defer { watermark: acked }
             }
-            let global = service.current_detection();
-            write_frame(
-                out,
-                &WireFrame::Detection(crate::wire::DetectionReply {
-                    size: global.best.size as u64,
-                    density: global.best.density,
-                    updates_applied: global.total_updates,
-                    members: global.best.members.to_vec(),
-                }),
-            )?;
-            Ok(true)
         }
         WireFrame::Stats => {
             let shard_stats = service.stats();
             let t = telemetry;
-            write_frame(
-                out,
-                &WireFrame::StatsReply(StatsReply {
-                    shards: shard_stats.len() as u64,
-                    updates_applied: shard_stats.iter().map(|s| s.service.updates_applied).sum(),
-                    queue_depth: shard_stats.iter().map(|s| s.service.queue_depth as u64).sum(),
-                    connections: t.connections.load(Ordering::Relaxed),
-                    frames: t.frames.load(Ordering::Relaxed),
-                    edges_accepted: t.edges_accepted.load(Ordering::Relaxed),
-                    busy_replies: t.busy_replies.load(Ordering::Relaxed),
-                    malformed_frames: t.malformed_frames.load(Ordering::Relaxed),
-                    uptime_secs: service.uptime().as_secs_f64(),
-                    shard_queue_depths: shard_stats
-                        .iter()
-                        .map(|s| s.service.queue_depth as u64)
-                        .collect(),
-                }),
-            )?;
-            Ok(true)
+            reply(&WireFrame::StatsReply(StatsReply {
+                shards: shard_stats.len() as u64,
+                updates_applied: shard_stats.iter().map(|s| s.service.updates_applied).sum(),
+                queue_depth: shard_stats.iter().map(|s| s.service.queue_depth as u64).sum(),
+                connections: t.connections.load(Ordering::Relaxed),
+                frames: t.frames.load(Ordering::Relaxed),
+                edges_accepted: t.edges_accepted.load(Ordering::Relaxed),
+                busy_replies: t.busy_replies.load(Ordering::Relaxed),
+                malformed_frames: t.malformed_frames.load(Ordering::Relaxed),
+                uptime_secs: service.uptime().as_secs_f64(),
+                shard_queue_depths: shard_stats
+                    .iter()
+                    .map(|s| s.service.queue_depth as u64)
+                    .collect(),
+            }));
+            FrameStep::Continue
         }
         WireFrame::Metrics => {
             // Runtime registries (every shard, merged) + the transport's
             // own counters, rendered once server-side so every exporter
             // ships the identical exposition.
             let merged = service.metrics().merge(&net_snapshot(telemetry));
-            write_frame(
-                out,
-                &WireFrame::MetricsReply(MetricsReply {
-                    version: METRICS_VERSION,
-                    exposition: merged.render_prometheus(),
-                }),
-            )?;
-            Ok(true)
+            reply(&WireFrame::MetricsReply(MetricsReply {
+                version: METRICS_VERSION,
+                exposition: merged.render_prometheus(),
+            }));
+            FrameStep::Continue
         }
         WireFrame::Shutdown => {
             // The coordinator's end-of-stream marker: acknowledge, then
             // stop the whole server (acked edges stay queued — the
             // operator drains them by shutting the service down).
-            write_frame(out, &WireFrame::Ack { accepted: 0 })?;
+            reply(&WireFrame::Ack { accepted: 0 });
             stop.store(true, Ordering::Release);
-            Ok(false)
+            FrameStep::Close
         }
         // Reply frames arriving at the server are a protocol violation.
         WireFrame::Ack { .. }
@@ -454,14 +385,37 @@ fn handle_frame<W: Write>(
         | WireFrame::MetricsReply(_)
         | WireFrame::Error { .. } => {
             telemetry.malformed_frames.fetch_add(1, Ordering::Relaxed);
-            write_frame(out, &WireFrame::Error { message: "reply frame sent to server".into() })?;
-            Ok(false)
+            reply(&WireFrame::Error { message: "reply frame sent to server".into() });
+            FrameStep::Close
         }
     }
 }
 
+fn step_if(alive: bool) -> FrameStep {
+    if alive {
+        FrameStep::Continue
+    } else {
+        FrameStep::Close
+    }
+}
+
+/// Appends the current merged global detection as a reply frame.
+pub(crate) fn write_detection(service: &ShardedSpadeService, out: &mut Vec<u8>) {
+    let global = service.current_detection();
+    write_frame(
+        out,
+        &WireFrame::Detection(crate::wire::DetectionReply {
+            size: global.best.size as u64,
+            density: global.best.density,
+            updates_applied: global.total_updates,
+            members: global.best.members.to_vec(),
+        }),
+    )
+    .expect("writing a frame to a Vec cannot fail");
+}
+
 /// Ingest commands applied across all shards.
-fn applied_total(service: &ShardedSpadeService) -> u64 {
+pub(crate) fn applied_total(service: &ShardedSpadeService) -> u64 {
     service.stats().iter().map(|s| s.service.updates_applied).sum()
 }
 

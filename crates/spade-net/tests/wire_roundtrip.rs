@@ -116,6 +116,70 @@ proptest! {
         prop_assert_eq!(decoder.buffered(), 0);
     }
 
+    /// The reactor's per-connection buffer handoff: bytes arrive in
+    /// arbitrary read-sized chunks across readiness events, and each
+    /// simulated wakeup drains at most a fixed frame budget before
+    /// yielding (leftovers stay buffered in the decoder until the next
+    /// wakeup, exactly like a budget-exhausted event-loop cycle). The
+    /// decoded stream must be identical to one contiguous read — no
+    /// frame lost, reordered, or fabricated at any chunk/budget split.
+    #[test]
+    fn interleaved_wakeup_drains_decode_identically_to_a_contiguous_read(
+        frames in collection::vec(arb_frame(), 1..10),
+        chunks in collection::vec(1usize..129, 1..48),
+        budget in 1usize..5,
+    ) {
+        let mut bytes = Vec::new();
+        for f in &frames {
+            bytes.extend_from_slice(&f.encode());
+        }
+
+        // Reference: one contiguous delivery, fully drained.
+        let mut contiguous = FrameDecoder::new();
+        contiguous.extend(&bytes);
+        let mut want = Vec::new();
+        while let Some(frame) = contiguous.next_frame().expect("valid stream") {
+            want.push(frame);
+        }
+
+        // Simulated reactor: chunk sizes cycle through `chunks`; each
+        // wakeup extends with one chunk, then drains at most `budget`
+        // frames before the next readiness event.
+        let mut decoder = FrameDecoder::new();
+        let mut got = Vec::new();
+        let mut offset = 0usize;
+        let mut wakeup = 0usize;
+        while offset < bytes.len() {
+            let take = chunks[wakeup % chunks.len()].min(bytes.len() - offset);
+            decoder.extend(&bytes[offset..offset + take]);
+            offset += take;
+            wakeup += 1;
+            for _ in 0..budget {
+                match decoder.next_frame().expect("valid stream") {
+                    Some(frame) => got.push(frame),
+                    None => break,
+                }
+            }
+        }
+        // Post-EOF wakeups with no new bytes, still budget-capped —
+        // the half-closed-connection drain path.
+        loop {
+            let before = got.len();
+            for _ in 0..budget {
+                match decoder.next_frame().expect("valid stream") {
+                    Some(frame) => got.push(frame),
+                    None => break,
+                }
+            }
+            if got.len() == before {
+                break;
+            }
+        }
+
+        prop_assert_eq!(got, want);
+        prop_assert_eq!(decoder.buffered(), 0);
+    }
+
     /// Any truncation of a valid frame either waits for more bytes or
     /// fails cleanly on a later feed — it never yields a wrong frame and
     /// never panics.
