@@ -178,6 +178,7 @@ impl StallProbe {
         let (stop2, worst2) = (Arc::clone(&stop), Arc::clone(&worst_ns));
         let handle = std::thread::spawn(move || {
             let tick = Duration::from_micros(200);
+            // audit: probe flag and watermark; join in finish() orders the final read
             while !stop2.load(Ordering::Relaxed) {
                 let slept = Instant::now();
                 std::thread::sleep(tick);
@@ -189,6 +190,7 @@ impl StallProbe {
     }
 
     fn finish(self) -> Duration {
+        // audit: probe flag and watermark; join in finish() orders the final read
         self.stop.store(true, Ordering::Relaxed);
         let _ = self.handle.join();
         Duration::from_nanos(self.worst_ns.load(Ordering::Relaxed))

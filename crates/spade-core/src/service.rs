@@ -177,6 +177,12 @@ pub struct CandidateRegion {
     /// Ingest commands this worker had consumed when the region was
     /// exported.
     pub updates_applied: u64,
+    /// The worker's published detection epoch at export time. The export
+    /// publishes before replying, so `(epoch, updates_applied)` is the
+    /// exact freshness marker of the state this region reflects — a
+    /// repair pass that records it as "seen" will not mistake its own
+    /// drain for new traffic.
+    pub epoch: u64,
 }
 
 /// A component slice leaving its source shard: the induced subgraph over
@@ -539,6 +545,7 @@ impl SpadeService {
         // The surplus is published BEFORE the send so a concurrent
         // `queue_free` never under-counts; the worker's decrement
         // happens-after the send, so the counter cannot go negative.
+        // audit: advisory backlog counter, races only widen queue_free slack
         let surplus = (edges.len() - 1) as u64;
         self.shared.batched_backlog.fetch_add(surplus, Ordering::Relaxed);
         let sent = self
@@ -562,6 +569,7 @@ impl SpadeService {
     /// combine it with a routing lock (the sharded runtime) or accept
     /// the bounded slack.
     pub fn queue_free(&self) -> usize {
+        // audit: advisory backlog counter, races only widen queue_free slack
         let backlog = self.shared.batched_backlog.load(Ordering::Relaxed) as usize;
         self.queue_capacity.saturating_sub(self.sender.len().saturating_add(backlog))
     }
@@ -811,6 +819,7 @@ fn worker_loop<M: DensityMetric + Send + 'static>(
                     // The command left the channel: its surplus edges no
                     // longer occupy queue slots (same as a drained
                     // per-edge run).
+                    // audit: advisory backlog counter, races only widen queue_free slack
                     shared
                         .batched_backlog
                         .fetch_sub((edges.len().saturating_sub(1)) as u64, Ordering::Relaxed);
@@ -883,8 +892,13 @@ fn worker_loop<M: DensityMetric + Send + 'static>(
                     // request, so drain the staged batch first. Buffered
                     // benign edges stay buffered — the region must agree
                     // with the published detection, which excludes them
-                    // too.
+                    // too. Publishing *here* (not at run end) keeps that
+                    // agreement exact and lets the reply carry the final
+                    // `(epoch, updates_applied)` marker for this state,
+                    // so the repair scheduler can record the export as
+                    // seen instead of re-running over its own drain.
                     apply_batch(&mut engine, &mut batch, &mut pending, &mut updates, &metrics);
+                    publisher.publish(&mut engine, &shared, updates, &metrics);
                     let det = engine.detect();
                     let members: Arc<[VertexId]> = Arc::from(engine.community(det));
                     let snapshot =
@@ -895,6 +909,7 @@ fn worker_loop<M: DensityMetric + Send + 'static>(
                         members,
                         encoded: snapshot.encode(),
                         updates_applied: updates,
+                        epoch: publisher.epoch,
                     });
                 }
                 Command::MigrateOut { members, reply } => {

@@ -467,6 +467,7 @@ mod tests {
             members,
             encoded: snapshot.encode(),
             updates_applied: edges.len() as u64,
+            epoch: 1,
         }
     }
 

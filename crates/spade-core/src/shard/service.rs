@@ -858,10 +858,9 @@ impl ShardedSpadeService {
     fn run_repair(&self, state: &mut RepairState) -> RepairedDetection {
         let pass_started = Instant::now();
         let hops = self.repair_config.hops;
-        // Freshness markers are captured BEFORE the export: an edge that
-        // lands while the pass runs makes the next scheduler call re-run
-        // (one conservative extra pass) instead of being mistaken for
-        // covered and served stale forever.
+        // Conservative baseline BEFORE the export: a shard whose export
+        // fails keeps this marker, so the next scheduler call re-runs
+        // instead of mistaking it for covered and serving stale forever.
         state.seen = self
             .shards
             .iter()
@@ -882,6 +881,12 @@ impl ShardedSpadeService {
         let mut regions: Vec<(usize, CandidateRegion)> = Vec::with_capacity(pending.len());
         for (shard, receiver) in pending {
             if let Ok(region) = receiver.recv() {
+                // The reply carries the shard's post-drain freshness
+                // marker — exactly the state this pass incorporates.
+                // Recording it keeps the pass's own drain (and the
+                // detection it published at export) from registering as
+                // new traffic on the next scheduler poll.
+                state.seen[shard] = (region.epoch, region.updates_applied);
                 regions.push((shard, region));
             }
         }

@@ -1,0 +1,10 @@
+// Self-test fixture: panic machinery in a hot-path module (this file is
+// scanned under the service.rs hot-path identity). Never compiled.
+
+pub fn drain(queue: &mut Vec<u64>) -> u64 {
+    queue.pop().unwrap()
+}
+
+pub fn decode(bytes: &[u8]) -> u64 {
+    u64::from_le_bytes(bytes.try_into().expect("8 bytes"))
+}

@@ -1,0 +1,12 @@
+// Self-test fixture: a clock read inside a per-edge loop in a hot-path
+// module. One `Instant::now()` per edge is the classic silent
+// throughput killer — stamp once per batch instead. Never compiled.
+
+use std::time::Instant;
+
+pub fn apply(edges: &[(u32, u32)]) {
+    for (src, dst) in edges {
+        let stamped = Instant::now();
+        touch(*src, *dst, stamped);
+    }
+}

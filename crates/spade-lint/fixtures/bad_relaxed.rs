@@ -1,0 +1,9 @@
+// Self-test fixture: an `Ordering::Relaxed` with no `// audit:`
+// annotation anywhere in its paragraph must be flagged as unallowable.
+// This file is never compiled — spade-lint reads it as text.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}

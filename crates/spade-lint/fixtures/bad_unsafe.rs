@@ -1,0 +1,6 @@
+// Self-test fixture: an `unsafe` block with no `// SAFETY:` comment in
+// its paragraph must be flagged as unallowable. Never compiled.
+
+pub fn read_raw(ptr: *const u64) -> u64 {
+    unsafe { *ptr }
+}

@@ -1,0 +1,12 @@
+// Self-test fixture: unchecked length arithmetic in the wire codec
+// (scanned under the wire.rs identity). A raw `+`/`*` on a length can
+// overflow on a hostile frame; the codec must use checked ops. Never
+// compiled.
+
+pub fn frame_size(payload: &[u8]) -> usize {
+    4 + payload.len()
+}
+
+pub fn section_bytes(count: usize, width: usize, buf: &[u8]) -> bool {
+    buf.len() >= count * width
+}

@@ -1,0 +1,828 @@
+//! Workspace invariant linter for the Spade repository.
+//!
+//! `spade-lint` is a dependency-free, token-level source analyzer that
+//! enforces the project's concurrency and hot-path invariants — the
+//! mechanisms the end-to-end exactness gates *rely on* but cannot see:
+//!
+//! * **`relaxed`** — every `Ordering::Relaxed` must sit under an
+//!   adjacent `// audit:` comment justifying why relaxed suffices, and
+//!   the justification must be registered in the committed allowlist.
+//! * **`unsafe`** — every `unsafe` block/fn must sit under an adjacent
+//!   `// SAFETY:` comment registered in the allowlist.
+//! * **`hot-panic`** — no `unwrap()` / `expect(` / `panic!` /
+//!   `unreachable!` in hot-path modules (the service worker loop, the
+//!   reactor, wire decode) outside `#[cfg(test)]` code, except sites
+//!   explicitly registered in the allowlist.
+//! * **`instant-loop`** — no `Instant::now()` lexically inside a loop
+//!   in a hot-path module (per-edge clock reads are the classic silent
+//!   throughput killer), except registered sites.
+//! * **`wire-arith`** — length arithmetic in the wire codec must use
+//!   checked/saturating ops; every raw `+`/`*` on a length is either a
+//!   finding or a registered, justified exception.
+//!
+//! The analyzer is intentionally lexical, not syntactic: it strips
+//! strings and comments with a small state machine, tracks brace and
+//! loop depth, and skips `#[cfg(test)]` modules. That is enough to make
+//! the five rules precise on rustfmt-formatted code while keeping the
+//! whole tool a single fast pass with zero dependencies.
+//!
+//! An *annotation* rule (relaxed/unsafe) covers the whole "paragraph"
+//! that follows it: a `// audit:`/`// SAFETY:` comment blesses every
+//! matching site until the next blank line, so a block of telemetry
+//! bumps needs one justification, not six.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Rule identifiers, also the first column of allowlist entries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// `Ordering::Relaxed` without a registered `// audit:` annotation.
+    Relaxed,
+    /// `unsafe` without a registered `// SAFETY:` annotation.
+    Unsafe,
+    /// Panic machinery in a hot-path module.
+    HotPanic,
+    /// `Instant::now()` inside a loop in a hot-path module.
+    InstantLoop,
+    /// Unchecked length arithmetic in the wire codec.
+    WireArith,
+}
+
+impl Rule {
+    /// Stable lower-case name (used in reports and the allowlist).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Rule::Relaxed => "relaxed",
+            Rule::Unsafe => "unsafe",
+            Rule::HotPanic => "hot-panic",
+            Rule::InstantLoop => "instant-loop",
+            Rule::WireArith => "wire-arith",
+        }
+    }
+
+    /// Parses an allowlist rule column.
+    pub fn from_name(name: &str) -> Option<Rule> {
+        match name {
+            "relaxed" => Some(Rule::Relaxed),
+            "unsafe" => Some(Rule::Unsafe),
+            "hot-panic" => Some(Rule::HotPanic),
+            "instant-loop" => Some(Rule::InstantLoop),
+            "wire-arith" => Some(Rule::WireArith),
+            _ => None,
+        }
+    }
+}
+
+/// One rule violation (before allowlist filtering).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// Which rule fired.
+    pub rule: Rule,
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Allowlist key: the annotation text for annotation rules, the
+    /// normalized code snippet otherwise.
+    pub key: String,
+    /// Human explanation.
+    pub message: String,
+    /// Whether an allowlist entry can bless this finding. Missing
+    /// annotations cannot be allowlisted — the fix is writing the
+    /// annotation, not registering its absence.
+    pub allowable: bool,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.path, self.line, self.rule.name(), self.message)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lexical pass: strip strings and comments, keep comment text aside.
+// ---------------------------------------------------------------------
+
+/// One source line after the lexical pass.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StrippedLine {
+    /// Code with string/char-literal contents blanked and comments
+    /// removed. Quotes are kept so patterns like `.expect(` survive.
+    pub code: String,
+    /// Concatenated `//`-comment text on the line (block comments are
+    /// ignored for annotations — the project annotates with line
+    /// comments).
+    pub comment: String,
+}
+
+impl StrippedLine {
+    /// True when the line carries neither code nor comment.
+    pub fn is_blank(&self) -> bool {
+        self.code.trim().is_empty() && self.comment.trim().is_empty()
+    }
+}
+
+/// Strips `source` into per-line code/comment pairs.
+///
+/// Handles line comments, (nested) block comments, string literals,
+/// raw strings with up to many `#`s, and char literals vs lifetimes.
+pub fn strip_source(source: &str) -> Vec<StrippedLine> {
+    let mut out = Vec::new();
+    let mut block_comment_depth = 0usize;
+    // Raw-string state survives newlines: Some(hashes) while inside.
+    let mut raw_string: Option<usize> = None;
+    let mut in_string = false;
+
+    for raw_line in source.lines() {
+        let bytes = raw_line.as_bytes();
+        let mut code = String::with_capacity(raw_line.len());
+        let mut comment = String::new();
+        let mut i = 0usize;
+        while i < bytes.len() {
+            if block_comment_depth > 0 {
+                if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    block_comment_depth -= 1;
+                    i += 2;
+                } else if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    block_comment_depth += 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+                continue;
+            }
+            if let Some(hashes) = raw_string {
+                // Look for `"` followed by `hashes` `#`s.
+                if bytes[i] == b'"'
+                    && bytes[i + 1..].iter().take_while(|&&b| b == b'#').count() >= hashes
+                {
+                    raw_string = None;
+                    code.push('"');
+                    for _ in 0..hashes {
+                        code.push('#');
+                    }
+                    i += 1 + hashes;
+                } else {
+                    i += 1;
+                }
+                continue;
+            }
+            if in_string {
+                match bytes[i] {
+                    b'\\' => i += 2, // skip the escaped byte
+                    b'"' => {
+                        in_string = false;
+                        code.push('"');
+                        i += 1;
+                    }
+                    _ => i += 1,
+                }
+                continue;
+            }
+            match bytes[i] {
+                b'/' if bytes.get(i + 1) == Some(&b'/') => {
+                    // Line comment: keep its text for annotations.
+                    let text = &raw_line[i + 2..];
+                    let text = text.trim_start_matches(['/', '!']);
+                    if !comment.is_empty() {
+                        comment.push(' ');
+                    }
+                    comment.push_str(text.trim());
+                    i = bytes.len();
+                }
+                b'/' if bytes.get(i + 1) == Some(&b'*') => {
+                    block_comment_depth += 1;
+                    i += 2;
+                }
+                b'r' if matches!(bytes.get(i + 1), Some(&b'"') | Some(&b'#'))
+                    && !prev_is_ident(&code) =>
+                {
+                    let hashes = bytes[i + 1..].iter().take_while(|&&b| b == b'#').count();
+                    if bytes.get(i + 1 + hashes) == Some(&b'"') {
+                        raw_string = Some(hashes);
+                        code.push('r');
+                        for _ in 0..hashes {
+                            code.push('#');
+                        }
+                        code.push('"');
+                        i += 2 + hashes;
+                    } else {
+                        code.push('r');
+                        i += 1;
+                    }
+                }
+                b'"' => {
+                    in_string = true;
+                    code.push('"');
+                    i += 1;
+                }
+                b'\'' => {
+                    // Char literal vs lifetime: a literal closes within
+                    // a few bytes (`'a'`, `'\n'`, `'\u{1F600}'`).
+                    if let Some(close) = char_literal_len(&bytes[i..]) {
+                        code.push_str("''");
+                        i += close;
+                    } else {
+                        code.push('\'');
+                        i += 1;
+                    }
+                }
+                b => {
+                    code.push(b as char);
+                    i += 1;
+                }
+            }
+        }
+        out.push(StrippedLine { code, comment });
+    }
+    out
+}
+
+/// Whether the last code char continues an identifier (so `r` in
+/// `for r"` is a raw-string sigil but in `var"` it is part of a name).
+fn prev_is_ident(code: &str) -> bool {
+    code.chars().next_back().is_some_and(|c| c.is_alphanumeric() || c == '_')
+}
+
+/// If `bytes` (starting at `'`) opens a char literal, returns its total
+/// byte length; `None` for a lifetime.
+fn char_literal_len(bytes: &[u8]) -> Option<usize> {
+    debug_assert_eq!(bytes[0], b'\'');
+    if bytes.get(1) == Some(&b'\\') {
+        // Escaped: find the closing quote (bounded — `'\u{10FFFF}'`).
+        for (j, &b) in bytes.iter().enumerate().skip(2).take(12) {
+            if b == b'\'' {
+                return Some(j + 1);
+            }
+        }
+        return None;
+    }
+    // Unescaped: `'X'` where X is one char (possibly multi-byte UTF-8).
+    let s = std::str::from_utf8(&bytes[1..]).ok()?;
+    let c = s.chars().next()?;
+    if s[c.len_utf8()..].starts_with('\'') {
+        Some(1 + c.len_utf8() + 1)
+    } else {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------
+// Rules engine.
+// ---------------------------------------------------------------------
+
+/// Path suffixes of the hot-path modules (service worker loop, reactor,
+/// wire decode) where `hot-panic` and `instant-loop` apply.
+pub const HOT_PATH_SUFFIXES: &[&str] =
+    &["spade-core/src/service.rs", "spade-net/src/reactor.rs", "spade-net/src/wire.rs"];
+
+/// Path suffixes of the wire codec where `wire-arith` applies.
+pub const WIRE_SUFFIXES: &[&str] = &["spade-net/src/wire.rs"];
+
+fn has_suffix(path: &str, suffixes: &[&str]) -> bool {
+    suffixes.iter().any(|s| path.ends_with(s))
+}
+
+/// Collapses interior whitespace so allowlist keys survive reformatting.
+pub fn normalize_snippet(line: &str) -> String {
+    line.split_whitespace().collect::<Vec<_>>().join(" ")
+}
+
+/// A pending annotation and the paragraph it covers.
+#[derive(Clone, Debug, Default)]
+struct Annotations {
+    audit: Option<String>,
+    safety: Option<String>,
+}
+
+/// Runs every applicable rule over one file. `path` must be
+/// workspace-relative with forward slashes.
+pub fn scan_file(path: &str, source: &str) -> Vec<Finding> {
+    let lines = strip_source(source);
+    let hot = has_suffix(path, HOT_PATH_SUFFIXES);
+    let wire = has_suffix(path, WIRE_SUFFIXES);
+
+    let mut findings = Vec::new();
+    let mut depth = 0usize; // brace depth
+    let mut loop_stack: Vec<usize> = Vec::new(); // depth of each open loop body
+    let mut pending_loop = false;
+    // `#[cfg(test)]` handling: once the attribute is seen, the next
+    // `mod`/`fn` item starts a skipped region until its braces close.
+    let mut pending_cfg_test = false;
+    let mut skip_below: Option<usize> = None;
+    let mut ann = Annotations::default();
+
+    for (idx, line) in lines.iter().enumerate() {
+        let lineno = idx + 1;
+        let code = line.code.trim();
+
+        if line.is_blank() {
+            ann = Annotations::default();
+        }
+        // Collect annotations before rule checks so a same-line comment
+        // covers its own line.
+        if let Some(text) = annotation_text(&line.comment, "audit:") {
+            ann.audit = Some(text);
+        }
+        if let Some(text) = annotation_text(&line.comment, "SAFETY:") {
+            ann.safety = Some(text);
+        }
+
+        let in_test = skip_below.is_some();
+        if !in_test {
+            if code.contains("#[cfg(test)]") {
+                pending_cfg_test = true;
+            } else if pending_cfg_test
+                && (starts_item(code, "mod") || starts_item(code, "fn") || code.contains(" fn "))
+            {
+                // The test item begins here; skip until depth returns.
+                skip_below = Some(depth);
+                pending_cfg_test = false;
+            } else if pending_cfg_test && !code.is_empty() && !code.starts_with("#[") {
+                pending_cfg_test = false;
+            }
+        }
+        let in_test = skip_below.is_some();
+
+        if !in_test {
+            check_line(
+                path,
+                lineno,
+                code,
+                &line.comment,
+                hot,
+                wire,
+                &loop_stack,
+                &ann,
+                &mut findings,
+            );
+        }
+
+        // Brace/loop bookkeeping on the stripped code.
+        for word in words(code) {
+            if matches!(word, "for" | "while" | "loop") {
+                pending_loop = true;
+            }
+        }
+        for ch in code.chars() {
+            match ch {
+                '{' => {
+                    depth += 1;
+                    if pending_loop {
+                        loop_stack.push(depth);
+                        pending_loop = false;
+                    }
+                }
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    while loop_stack.last().is_some_and(|&d| d > depth) {
+                        loop_stack.pop();
+                    }
+                    if let Some(at) = skip_below {
+                        if depth <= at {
+                            skip_below = None;
+                        }
+                    }
+                }
+                ';' => pending_loop = false,
+                _ => {}
+            }
+        }
+    }
+    findings
+}
+
+/// Extracts the text after `marker` in a comment, if present.
+fn annotation_text(comment: &str, marker: &str) -> Option<String> {
+    let at = comment.find(marker)?;
+    Some(comment[at + marker.len()..].trim().to_string())
+}
+
+fn starts_item(code: &str, kw: &str) -> bool {
+    code.strip_prefix(kw).is_some_and(|rest| rest.starts_with([' ', '\t']))
+        || code.strip_prefix("pub ").is_some_and(|rest| starts_item(rest, kw))
+        || code.strip_prefix("pub(crate) ").is_some_and(|rest| starts_item(rest, kw))
+}
+
+fn words(code: &str) -> impl Iterator<Item = &str> {
+    code.split(|c: char| !c.is_alphanumeric() && c != '_').filter(|w| !w.is_empty())
+}
+
+#[allow(clippy::too_many_arguments)]
+fn check_line(
+    path: &str,
+    lineno: usize,
+    code: &str,
+    comment: &str,
+    hot: bool,
+    wire: bool,
+    loop_stack: &[usize],
+    ann: &Annotations,
+    findings: &mut Vec<Finding>,
+) {
+    if code.contains("Ordering::Relaxed") {
+        match &ann.audit {
+            None => findings.push(Finding {
+                rule: Rule::Relaxed,
+                path: path.to_string(),
+                line: lineno,
+                key: normalize_snippet(code),
+                message: "Ordering::Relaxed without an adjacent `// audit:` justification"
+                    .to_string(),
+                allowable: false,
+            }),
+            Some(key) => findings.push(Finding {
+                rule: Rule::Relaxed,
+                path: path.to_string(),
+                line: lineno,
+                key: key.clone(),
+                message: format!("unregistered audit annotation: {key:?}"),
+                allowable: true,
+            }),
+        }
+    }
+
+    if words(code).any(|w| w == "unsafe") {
+        match &ann.safety {
+            None => findings.push(Finding {
+                rule: Rule::Unsafe,
+                path: path.to_string(),
+                line: lineno,
+                key: normalize_snippet(code),
+                message: "`unsafe` without an adjacent `// SAFETY:` comment".to_string(),
+                allowable: false,
+            }),
+            Some(key) => findings.push(Finding {
+                rule: Rule::Unsafe,
+                path: path.to_string(),
+                line: lineno,
+                key: key.clone(),
+                message: format!("unregistered SAFETY annotation: {key:?}"),
+                allowable: true,
+            }),
+        }
+    }
+
+    if hot {
+        let panicky = code.contains(".unwrap()")
+            || code.contains(".expect(")
+            || code.contains("panic!(")
+            || code.contains("unreachable!(");
+        if panicky {
+            findings.push(Finding {
+                rule: Rule::HotPanic,
+                path: path.to_string(),
+                line: lineno,
+                key: normalize_snippet(code),
+                message: "panic machinery in a hot-path module".to_string(),
+                allowable: true,
+            });
+        }
+        if code.contains("Instant::now") && !loop_stack.is_empty() {
+            findings.push(Finding {
+                rule: Rule::InstantLoop,
+                path: path.to_string(),
+                line: lineno,
+                key: normalize_snippet(code),
+                message: "Instant::now() inside a loop in a hot-path module".to_string(),
+                allowable: true,
+            });
+        }
+    }
+
+    if wire {
+        let lengthy =
+            code.contains("len()") || code.contains("remaining()") || code.contains("buffered()");
+        let raw_arith = code.contains(" + ") || code.contains(" * ");
+        let checked = code.contains("checked_") || code.contains("saturating_");
+        if lengthy && raw_arith && !checked {
+            findings.push(Finding {
+                rule: Rule::WireArith,
+                path: path.to_string(),
+                line: lineno,
+                key: normalize_snippet(code),
+                message: "unchecked length arithmetic in the wire codec".to_string(),
+                allowable: true,
+            });
+        }
+    }
+    let _ = comment;
+}
+
+// ---------------------------------------------------------------------
+// Allowlist.
+// ---------------------------------------------------------------------
+
+/// The committed allowlist: tab-separated `rule<TAB>path<TAB>key` lines,
+/// `#` comments and blanks ignored. Keys for annotation rules are the
+/// annotation text; for the other rules, the normalized code snippet.
+#[derive(Clone, Debug, Default)]
+pub struct Allowlist {
+    entries: Vec<(Rule, String, String)>,
+}
+
+impl Allowlist {
+    /// Parses allowlist text; errors carry the offending line number.
+    pub fn parse(text: &str) -> Result<Allowlist, String> {
+        let mut entries = Vec::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut cols = raw.splitn(3, '\t');
+            let (rule, path, key) = match (cols.next(), cols.next(), cols.next()) {
+                (Some(r), Some(p), Some(k)) => (r.trim(), p.trim(), k.trim()),
+                _ => {
+                    return Err(format!(
+                        "allowlist line {}: expected rule<TAB>path<TAB>key, got {raw:?}",
+                        idx + 1
+                    ))
+                }
+            };
+            let rule = Rule::from_name(rule)
+                .ok_or_else(|| format!("allowlist line {}: unknown rule {rule:?}", idx + 1))?;
+            if key.is_empty() {
+                return Err(format!("allowlist line {}: empty key", idx + 1));
+            }
+            entries.push((rule, path.to_string(), key.to_string()));
+        }
+        Ok(Allowlist { entries })
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the allowlist has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether `finding` is blessed by a registered entry.
+    pub fn permits(&self, finding: &Finding) -> bool {
+        finding.allowable
+            && self
+                .entries
+                .iter()
+                .any(|(r, p, k)| *r == finding.rule && *p == finding.path && *k == finding.key)
+    }
+
+    /// Entries that blessed nothing in `findings` — stale registrations
+    /// that must be pruned so the allowlist stays an honest inventory.
+    pub fn stale_entries(&self, findings: &[Finding]) -> Vec<(Rule, String, String)> {
+        self.entries
+            .iter()
+            .filter(|(r, p, k)| {
+                !findings.iter().any(|f| f.rule == *r && f.path == *p && f.key == *k && f.allowable)
+            })
+            .cloned()
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Workspace walking.
+// ---------------------------------------------------------------------
+
+/// Collects the `.rs` files `--workspace` scans: `src/` trees of the
+/// facade crate and every crate under `crates/`, excluding the offline
+/// vendor shims (stand-in code with its own idioms, replaced wholesale
+/// on a networked builder) and this linter's intentionally-bad fixtures.
+pub fn workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.join("src"), root.join("crates")];
+    while let Some(dir) = stack.pop() {
+        let entries = match std::fs::read_dir(&dir) {
+            Ok(e) => e,
+            Err(_) => continue,
+        };
+        for entry in entries {
+            let entry = entry?;
+            let path = entry.path();
+            let rel = path.strip_prefix(root).unwrap_or(&path);
+            let rel_str = rel.to_string_lossy().replace('\\', "/");
+            if rel_str.starts_with("crates/vendor") || rel_str.contains("spade-lint/fixtures") {
+                continue;
+            }
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs")
+                && (rel_str.starts_with("src/") || rel_str.contains("/src/"))
+            {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Scans every workspace file, returning all findings (allowlist not
+/// yet applied) keyed by workspace-relative path.
+pub fn scan_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for file in workspace_files(root)? {
+        let rel = file.strip_prefix(root).unwrap_or(&file).to_string_lossy().replace('\\', "/");
+        let source = std::fs::read_to_string(&file)?;
+        findings.extend(scan_file(&rel, &source));
+    }
+    Ok(findings)
+}
+
+/// Result of judging a finding set against an allowlist.
+pub struct Evaluation {
+    /// Findings the allowlist does not permit.
+    pub violations: Vec<Finding>,
+    /// Allowlist entries matching no finding, as `(rule, path, key)`.
+    pub stale: Vec<(Rule, String, String)>,
+    /// Total findings per rule (audited sites, violations included).
+    pub audited: Vec<(Rule, usize)>,
+}
+
+/// Splits findings into violations and a per-rule audit summary, given
+/// the allowlist.
+pub fn evaluate(findings: &[Finding], allowlist: &Allowlist) -> Evaluation {
+    let violations: Vec<Finding> =
+        findings.iter().filter(|f| !allowlist.permits(f)).cloned().collect();
+    let stale = allowlist.stale_entries(findings);
+    let mut audited: Vec<(Rule, usize)> = Vec::new();
+    for rule in [Rule::Relaxed, Rule::Unsafe, Rule::HotPanic, Rule::InstantLoop, Rule::WireArith] {
+        let n = findings.iter().filter(|f| f.rule == rule).count();
+        audited.push((rule, n));
+    }
+    Evaluation { violations, stale, audited }
+}
+
+/// Distinct files among `findings` — used for reporting.
+pub fn files_covered(findings: &[Finding]) -> BTreeSet<String> {
+    findings.iter().map(|f| f.path.clone()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stripper_blanks_strings_and_keeps_comments() {
+        let src = "let x = \"Ordering::Relaxed\"; // audit: just a string\n";
+        let lines = strip_source(src);
+        assert!(!lines[0].code.contains("Ordering::Relaxed"));
+        assert_eq!(annotation_text(&lines[0].comment, "audit:").as_deref(), Some("just a string"));
+    }
+
+    #[test]
+    fn stripper_handles_block_comments_and_char_literals() {
+        let src = "let a = 'x'; /* Ordering::Relaxed\nstill comment */ let b: &'static str = \"\";";
+        let lines = strip_source(src);
+        assert!(!lines[0].code.contains("Relaxed"));
+        assert!(lines[1].code.contains("'static"));
+    }
+
+    #[test]
+    fn stripper_handles_raw_strings() {
+        let src = "let re = r#\"unsafe { \"quoted\" }\"#; let after = 1;";
+        let lines = strip_source(src);
+        assert!(!lines[0].code.contains("unsafe"));
+        assert!(lines[0].code.contains("let after = 1;"));
+    }
+
+    #[test]
+    fn relaxed_without_annotation_is_unallowable() {
+        let src = "fn f(c: &AtomicU64) { c.load(Ordering::Relaxed); }\n";
+        let findings = scan_file("crates/x/src/lib.rs", src);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, Rule::Relaxed);
+        assert!(!findings[0].allowable);
+    }
+
+    #[test]
+    fn audit_annotation_covers_its_paragraph_until_a_blank_line() {
+        let src = "\
+// audit: monotone counter, coherence suffices
+a.fetch_add(1, Ordering::Relaxed);
+b.fetch_add(1, Ordering::Relaxed);
+
+c.fetch_add(1, Ordering::Relaxed);
+";
+        let findings = scan_file("crates/x/src/lib.rs", src);
+        assert_eq!(findings.len(), 3);
+        assert!(findings[0].allowable && findings[1].allowable);
+        assert_eq!(findings[0].key, "monotone counter, coherence suffices");
+        assert!(!findings[2].allowable, "the blank line must end the annotation's scope");
+    }
+
+    #[test]
+    fn unsafe_requires_safety_and_registration() {
+        let bare = "let rc = unsafe { libc_call() };\n";
+        let f = scan_file("crates/x/src/lib.rs", bare);
+        assert_eq!(f.len(), 1);
+        assert!(!f[0].allowable);
+
+        let annotated =
+            "// SAFETY: the pointer outlives the call\nlet rc = unsafe { libc_call() };\n";
+        let f = scan_file("crates/x/src/lib.rs", annotated);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].allowable);
+        assert_eq!(f[0].key, "the pointer outlives the call");
+    }
+
+    #[test]
+    fn hot_panic_fires_only_in_hot_modules_and_skips_tests() {
+        let src =
+            "fn f() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn g() { y.unwrap(); }\n}\n";
+        let cold = scan_file("crates/spade-gen/src/lib.rs", src);
+        assert!(cold.is_empty());
+        let hot = scan_file("crates/spade-core/src/service.rs", src);
+        assert_eq!(hot.len(), 1, "the cfg(test) module must be skipped: {hot:?}");
+        assert_eq!(hot[0].line, 1);
+    }
+
+    #[test]
+    fn unwrap_or_else_is_not_a_panic_site() {
+        let src = "fn f() { x.unwrap_or_else(|| 3); y.unwrap_or(0); }\n";
+        assert!(scan_file("crates/spade-core/src/service.rs", src).is_empty());
+    }
+
+    #[test]
+    fn instant_in_loop_fires_only_inside_loops() {
+        let src = "\
+fn f() {
+    let t0 = Instant::now();
+    for e in edges {
+        let t = Instant::now();
+    }
+    while go() {
+        if x { let u = Instant::now(); }
+    }
+}
+";
+        let f = scan_file("crates/spade-net/src/reactor.rs", src);
+        assert_eq!(f.iter().filter(|f| f.rule == Rule::InstantLoop).count(), 2);
+        assert!(f.iter().all(|f| f.line == 4 || f.line == 7));
+    }
+
+    #[test]
+    fn wire_arith_requires_checked_ops() {
+        let bad = "let n = 4 + payload.len();\n";
+        let f = scan_file("crates/spade-net/src/wire.rs", bad);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].rule, Rule::WireArith);
+
+        let good = "let n = count.checked_mul(width);\nlet m = base.saturating_add(x.len());\n";
+        assert!(scan_file("crates/spade-net/src/wire.rs", good).is_empty());
+
+        let elsewhere = scan_file("crates/spade-core/src/service.rs", bad);
+        assert!(elsewhere.iter().all(|f| f.rule != Rule::WireArith));
+    }
+
+    #[test]
+    fn allowlist_parses_and_permits() {
+        let text = "# comment\n\nrelaxed\tcrates/x/src/lib.rs\tmonotone counter\n";
+        let allow = Allowlist::parse(text).expect("parse");
+        assert_eq!(allow.len(), 1);
+        let f = Finding {
+            rule: Rule::Relaxed,
+            path: "crates/x/src/lib.rs".into(),
+            line: 3,
+            key: "monotone counter".into(),
+            message: String::new(),
+            allowable: true,
+        };
+        assert!(allow.permits(&f));
+        let other = Finding { key: "different".into(), ..f.clone() };
+        assert!(!allow.permits(&other));
+        let unallowable = Finding { allowable: false, ..f };
+        assert!(!allow.permits(&unallowable));
+    }
+
+    #[test]
+    fn allowlist_rejects_malformed_lines() {
+        assert!(Allowlist::parse("relaxed only-two-columns\n").is_err());
+        assert!(Allowlist::parse("bogus-rule\tpath\tkey\n").is_err());
+        assert!(Allowlist::parse("relaxed\tpath\t\n").is_err());
+    }
+
+    #[test]
+    fn stale_entries_are_reported() {
+        let allow = Allowlist::parse("relaxed\tcrates/x/src/lib.rs\tgone\n").expect("parse");
+        let stale = allow.stale_entries(&[]);
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].2, "gone");
+    }
+
+    #[test]
+    fn evaluate_separates_violations_from_audited_sites() {
+        let src =
+            "// audit: ok\na.load(Ordering::Relaxed);\n\nfn f() { b.load(Ordering::Relaxed); }\n";
+        let findings = scan_file("crates/x/src/lib.rs", src);
+        let allow = Allowlist::parse("relaxed\tcrates/x/src/lib.rs\tok\n").expect("parse");
+        let eval = evaluate(&findings, &allow);
+        assert_eq!(eval.violations.len(), 1, "{:?}", eval.violations);
+        assert!(eval.stale.is_empty());
+        assert_eq!(eval.audited.iter().find(|(r, _)| *r == Rule::Relaxed).unwrap().1, 2);
+    }
+}

@@ -2,11 +2,19 @@
 //! histograms, a mergeable snapshot model, and an event-trace ring.
 //!
 //! The hot path is allocation-free: recording into a [`Counter`],
-//! [`Gauge`] or [`Histogram`] is a handful of relaxed atomic bumps on
+//! [`Gauge`] or [`Histogram`] is a handful of atomic bumps on
 //! pre-registered handles. Registration (name → handle) and snapshots
 //! take a lock, but both happen off the per-edge path — workers resolve
 //! their handles once at spawn and only ever touch the atomics after
 //! that.
+//!
+//! Writes use `Release` and reads `Acquire`: a snapshot that observes a
+//! counter at `N` also observes every metric write the recording thread
+//! made before bumping it to `N`, so cross-metric reconciliation (e.g.
+//! an applied-updates counter against a latency histogram's count) can
+//! never see the counter lead its companion writes. On x86 both orders
+//! compile to the same instructions as `Relaxed`, so the hot path pays
+//! nothing for the guarantee.
 //!
 //! Snapshots are plain owned data ([`MetricsSnapshot`]) that
 //! [`merge`](MetricsSnapshot::merge) across shards: counters and gauges
@@ -49,20 +57,24 @@ impl Counter {
     /// Adds `n`.
     #[inline]
     pub fn add(&self, n: u64) {
-        self.value.fetch_add(n, Ordering::Relaxed);
+        // Release: pairs with the Acquire load in `get` so an observer
+        // of the new count also sees prior writes by this thread.
+        self.value.fetch_add(n, Ordering::Release);
     }
 
     /// Overwrites the value — for counters mirrored from an external
     /// monotone source (e.g. a grouper's own flush count).
     #[inline]
     pub fn store(&self, v: u64) {
-        self.value.store(v, Ordering::Relaxed);
+        // Release: see `add`.
+        self.value.store(v, Ordering::Release);
     }
 
     /// Current value.
     #[inline]
     pub fn get(&self) -> u64 {
-        self.value.load(Ordering::Relaxed)
+        // Acquire: pairs with the Release writes above.
+        self.value.load(Ordering::Acquire)
     }
 }
 
@@ -81,13 +93,15 @@ impl Gauge {
     /// Overwrites the level.
     #[inline]
     pub fn set(&self, v: u64) {
-        self.value.store(v, Ordering::Relaxed);
+        // Release: pairs with the Acquire load in `get` (see module doc).
+        self.value.store(v, Ordering::Release);
     }
 
     /// Current level.
     #[inline]
     pub fn get(&self) -> u64 {
-        self.value.load(Ordering::Relaxed)
+        // Acquire: pairs with the Release store above.
+        self.value.load(Ordering::Acquire)
     }
 }
 
@@ -122,8 +136,8 @@ fn bucket_upper(idx: usize) -> u64 {
 
 /// Fixed-bucket log-scale histogram with atomic recording.
 ///
-/// [`record`](Histogram::record) is three relaxed atomic operations —
-/// no allocation, no lock — so it is safe on the per-edge hot path.
+/// [`record`](Histogram::record) is three atomic operations — no
+/// allocation, no lock — so it is safe on the per-edge hot path.
 /// Units are whatever the caller records (the runtime uses
 /// nanoseconds for stage latencies and raw counts for batch sizes).
 #[derive(Debug)]
@@ -150,12 +164,13 @@ impl Histogram {
     }
 
     /// Records one observation. Allocation-free: one bucket bump plus
-    /// sum/max updates, all relaxed atomics.
+    /// sum/max updates.
     #[inline]
     pub fn record(&self, v: u64) {
-        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
-        self.sum.fetch_add(v, Ordering::Relaxed);
-        self.max.fetch_max(v, Ordering::Relaxed);
+        // Release: pairs with the Acquire loads in `count`/`snapshot`.
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Release);
+        self.sum.fetch_add(v, Ordering::Release);
+        self.max.fetch_max(v, Ordering::Release);
     }
 
     /// Records a duration in nanoseconds (saturating at `u64::MAX`).
@@ -167,7 +182,8 @@ impl Histogram {
     /// Observations recorded so far (bucket sum, so it is always
     /// consistent with a concurrently taken snapshot's count).
     pub fn count(&self) -> u64 {
-        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+        // Acquire: pairs with the Release bumps in `record`.
+        self.buckets.iter().map(|b| b.load(Ordering::Acquire)).sum()
     }
 
     /// A point-in-time copy of the buckets. Under concurrent recording
@@ -175,12 +191,13 @@ impl Histogram {
     /// quantiles are always internally consistent; `sum` and `max` may
     /// trail or lead by in-flight records but never regress.
     pub fn snapshot(&self) -> HistogramSnapshot {
-        let buckets: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect();
+        // Acquire: pairs with the Release bumps in `record`.
+        let buckets: Vec<u64> = self.buckets.iter().map(|b| b.load(Ordering::Acquire)).collect();
         let count = buckets.iter().sum();
         HistogramSnapshot {
             count,
-            sum: self.sum.load(Ordering::Relaxed),
-            max: self.max.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Acquire),
+            max: self.max.load(Ordering::Acquire),
             buckets,
         }
     }

@@ -95,6 +95,9 @@ extern "C" {
 /// with events.
 fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> std::io::Result<usize> {
     loop {
+        // SAFETY: `fds` is a valid, exclusively borrowed slice for the
+        // whole call; PollFd is #[repr(C)] and matches the libc layout,
+        // and nfds is exactly the slice length.
         let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as core::ffi::c_ulong, timeout_ms) };
         if rc >= 0 {
             return Ok(rc as usize);
@@ -383,6 +386,7 @@ fn run_worker(idx: usize, listener: Option<TcpListener>, wake_rx: UnixStream, sh
                 conns.swap_remove(i);
             }
         }
+        // audit: resident gauge is telemetry-only, single counter cell
         let resident = shared.resident.load(Ordering::Relaxed);
         metrics.resident.set(resident.max(0) as u64);
 
@@ -391,6 +395,7 @@ fn run_worker(idx: usize, listener: Option<TcpListener>, wake_rx: UnixStream, sh
 
     // Wind-down: one best-effort flush per connection so replies already
     // produced (e.g. the Shutdown Ack) reach their producers.
+    // audit: resident gauge is telemetry-only, single counter cell
     for c in &mut conns {
         let _ = flush_out(c);
         shared.resident.fetch_sub(1, Ordering::Relaxed);
@@ -431,6 +436,7 @@ fn accept_ready(
                 *next_conn_id += 1;
                 let id = *next_conn_id;
                 let counters = register_conn(&shared.telemetry, id);
+                // audit: resident gauge is telemetry-only, single counter cell
                 shared.resident.fetch_add(1, Ordering::Relaxed);
                 let target = (id as usize - 1) % shared.config.workers;
                 if target == 0 {
@@ -487,6 +493,7 @@ fn service_conn(
         match c.stream.read(chunk) {
             Ok(0) => c.eof = true,
             Ok(n) => {
+                // audit: per-connection byte counter, telemetry only
                 c.counters.bytes.fetch_add(n as u64, Ordering::Relaxed);
                 c.decoder.extend(&chunk[..n]);
             }
@@ -555,6 +562,7 @@ fn service_conn(
 
 fn drop_conn(c: &mut Conn, shared: &Shared) -> bool {
     let _ = flush_out(c);
+    // audit: resident gauge is telemetry-only, single counter cell
     shared.resident.fetch_sub(1, Ordering::Relaxed);
     false
 }

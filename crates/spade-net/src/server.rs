@@ -80,12 +80,14 @@ impl NetTelemetry {
 
     /// Counts one decoded frame, globally and per connection.
     pub(crate) fn count_frame(&self, conn: &ConnCounters) {
+        // audit: monotone transport counter, telemetry only
         self.frames.fetch_add(1, Ordering::Relaxed);
         conn.frames.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Counts one malformed frame (the connection is about to close).
     pub(crate) fn count_malformed(&self) {
+        // audit: monotone transport counter, telemetry only
         self.malformed_frames.fetch_add(1, Ordering::Relaxed);
         self.registry.event(spade_metrics::EventKind::MalformedFrame, 0);
     }
@@ -94,6 +96,7 @@ impl NetTelemetry {
 /// Registers a freshly accepted connection: bumps the accept total and
 /// tracks its counters in the bounded labeled-series window.
 pub(crate) fn register_conn(telemetry: &NetTelemetry, conn_id: u64) -> Arc<ConnCounters> {
+    // audit: monotone transport counter, telemetry only
     telemetry.connections.fetch_add(1, Ordering::Relaxed);
     let conn = Arc::new(ConnCounters::default());
     let mut per_conn = telemetry.per_conn.lock();
@@ -116,11 +119,13 @@ fn net_snapshot(telemetry: &NetTelemetry) -> MetricsSnapshot {
     let mut c = |name: &str, v: u64| {
         snap.counters.insert(name.to_string(), v);
     };
+    // audit: telemetry counter reads, each cell independently monotone
     c("spade_net_connections_total", telemetry.connections.load(Ordering::Relaxed));
     c("spade_net_frames_total", telemetry.frames.load(Ordering::Relaxed));
     c("spade_net_edges_accepted_total", telemetry.edges_accepted.load(Ordering::Relaxed));
     c("spade_net_busy_replies_total", telemetry.busy_replies.load(Ordering::Relaxed));
     c("spade_net_malformed_frames_total", telemetry.malformed_frames.load(Ordering::Relaxed));
+    // audit: telemetry counter reads, each cell independently monotone
     for (id, conn) in telemetry.per_conn.lock().iter() {
         c(
             &format!("spade_net_connection_frames{{conn=\"{id}\"}}"),
@@ -236,6 +241,7 @@ impl SpadeNetServer {
     /// Current transport counters.
     pub fn stats(&self) -> NetStats {
         let t = &self.telemetry;
+        // audit: telemetry counter reads, each cell independently monotone
         NetStats {
             connections: t.connections.load(Ordering::Relaxed),
             frames: t.frames.load(Ordering::Relaxed),
@@ -341,6 +347,7 @@ pub(crate) fn apply_frame(
         WireFrame::Stats => {
             let shard_stats = service.stats();
             let t = telemetry;
+            // audit: telemetry counter reads, each cell independently monotone
             reply(&WireFrame::StatsReply(StatsReply {
                 shards: shard_stats.len() as u64,
                 updates_applied: shard_stats.iter().map(|s| s.service.updates_applied).sum(),
@@ -384,6 +391,7 @@ pub(crate) fn apply_frame(
         | WireFrame::StatsReply(_)
         | WireFrame::MetricsReply(_)
         | WireFrame::Error { .. } => {
+            // audit: monotone transport counter, telemetry only
             telemetry.malformed_frames.fetch_add(1, Ordering::Relaxed);
             reply(&WireFrame::Error { message: "reply frame sent to server".into() });
             FrameStep::Close
@@ -429,6 +437,7 @@ fn submit_run(
 ) -> (WireFrame, bool) {
     let mut accepted = 0u64;
     for &(src, dst, raw) in edges {
+        // audit: monotone transport counters, telemetry only
         match service.try_submit(src, dst, raw) {
             TrySubmit::Queued => accepted += 1,
             TrySubmit::Full => {
@@ -444,6 +453,7 @@ fn submit_run(
             }
         }
     }
+    // audit: monotone transport counter, telemetry only
     telemetry.edges_accepted.fetch_add(accepted, Ordering::Relaxed);
     (WireFrame::Ack { accepted }, true)
 }
@@ -462,6 +472,7 @@ fn submit_grouped(
     telemetry: &NetTelemetry,
     conn: &ConnCounters,
 ) -> (WireFrame, bool) {
+    // audit: monotone transport counters, telemetry only
     let outcome = service.submit_batch(edges, budget);
     let accepted = outcome.accepted as u64;
     telemetry.edges_accepted.fetch_add(accepted, Ordering::Relaxed);

@@ -536,15 +536,16 @@ impl FrameDecoder {
         if self.buffered() < 4 {
             return Ok(None);
         }
-        let head = &self.buf[self.start..self.start + 4];
-        let len = u32::from_le_bytes(head.try_into().expect("4-byte slice")) as usize;
+        let mut head = [0u8; 4];
+        head.copy_from_slice(&self.buf[self.start..self.start + 4]);
+        let len = u32::from_le_bytes(head) as usize;
         if len > MAX_FRAME_BYTES {
             // Consume the prefix so a caller that (wrongly) continues
             // does not loop forever on the same bytes.
             self.start += 4;
             return Err(WireError::Oversized(len));
         }
-        if self.buffered() < 4 + len {
+        if self.buffered().saturating_sub(4) < len {
             return Ok(None);
         }
         let payload_at = self.start + 4;

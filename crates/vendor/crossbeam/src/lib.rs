@@ -12,12 +12,126 @@ pub mod channel {
     use std::collections::VecDeque;
     use std::sync::{Arc, Condvar, Mutex};
 
+    #[cfg(feature = "audit")]
+    use parking_lot::audit;
+
     struct Shared<T> {
         inner: Mutex<Inner<T>>,
         /// Signalled when the queue gains an item or all senders leave.
         not_empty: Condvar,
         /// Signalled when the queue loses an item or all receivers leave.
         not_full: Condvar,
+        /// Lock class of `inner` in the order-audit graph, one per
+        /// `bounded()` call site.
+        #[cfg(feature = "audit")]
+        class: audit::ClassId,
+    }
+
+    /// Guard type for `Shared::inner`: the raw std guard normally, an
+    /// audit-tracked wrapper when the order graph is recording.
+    #[cfg(not(feature = "audit"))]
+    type Guard<'a, T> = std::sync::MutexGuard<'a, Inner<T>>;
+    #[cfg(feature = "audit")]
+    type Guard<'a, T> = TrackedGuard<'a, T>;
+
+    /// Wraps the channel mutex guard so drops (and Condvar waits, which
+    /// release and re-acquire) keep the audit's held-lock stack honest.
+    #[cfg(feature = "audit")]
+    struct TrackedGuard<'a, T> {
+        /// `None` only transiently while parked in a Condvar wait.
+        inner: Option<std::sync::MutexGuard<'a, Inner<T>>>,
+        class: audit::ClassId,
+    }
+
+    #[cfg(feature = "audit")]
+    impl<'a, T> TrackedGuard<'a, T> {
+        /// Hands the std guard to a Condvar wait, recording the release.
+        fn release_for_wait(mut self) -> std::sync::MutexGuard<'a, Inner<T>> {
+            let g = self.inner.take().expect("guard already released");
+            audit::on_release(self.class);
+            g
+        }
+    }
+
+    #[cfg(feature = "audit")]
+    impl<T> std::ops::Deref for TrackedGuard<'_, T> {
+        type Target = Inner<T>;
+        fn deref(&self) -> &Inner<T> {
+            self.inner.as_ref().expect("guard released")
+        }
+    }
+
+    #[cfg(feature = "audit")]
+    impl<T> std::ops::DerefMut for TrackedGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut Inner<T> {
+            self.inner.as_mut().expect("guard released")
+        }
+    }
+
+    #[cfg(feature = "audit")]
+    impl<T> Drop for TrackedGuard<'_, T> {
+        fn drop(&mut self) {
+            if self.inner.is_some() {
+                audit::on_release(self.class);
+            }
+        }
+    }
+
+    impl<T> Shared<T> {
+        /// Single entry point for taking `inner`, so audit builds record
+        /// every acquisition.
+        #[cfg_attr(feature = "audit", track_caller)]
+        fn lock_inner(&self) -> Guard<'_, T> {
+            #[cfg(feature = "audit")]
+            {
+                audit::before_acquire(self.class, std::panic::Location::caller());
+                let inner = self.inner.lock().unwrap();
+                audit::after_acquire(self.class);
+                TrackedGuard { inner: Some(inner), class: self.class }
+            }
+            #[cfg(not(feature = "audit"))]
+            self.inner.lock().unwrap()
+        }
+
+        /// `cv.wait(guard)` with the audit stack updated across the
+        /// park (the mutex is released while waiting).
+        #[cfg_attr(feature = "audit", track_caller)]
+        fn wait_on<'a>(&'a self, cv: &Condvar, guard: Guard<'a, T>) -> Guard<'a, T> {
+            #[cfg(feature = "audit")]
+            {
+                let site = std::panic::Location::caller();
+                let inner = cv.wait(guard.release_for_wait()).unwrap();
+                audit::before_acquire(self.class, site);
+                audit::after_acquire(self.class);
+                TrackedGuard { inner: Some(inner), class: self.class }
+            }
+            #[cfg(not(feature = "audit"))]
+            cv.wait(guard).unwrap()
+        }
+
+        /// `cv.wait_timeout(guard, dur)` with the audit stack updated
+        /// across the park.
+        #[cfg_attr(feature = "audit", track_caller)]
+        fn wait_timeout_on<'a>(
+            &'a self,
+            cv: &Condvar,
+            guard: Guard<'a, T>,
+            dur: std::time::Duration,
+        ) -> Guard<'a, T> {
+            #[cfg(feature = "audit")]
+            {
+                let site = std::panic::Location::caller();
+                let (inner, _timed_out) = cv.wait_timeout(guard.release_for_wait(), dur).unwrap();
+                audit::before_acquire(self.class, site);
+                audit::after_acquire(self.class);
+                TrackedGuard { inner: Some(inner), class: self.class }
+            }
+            #[cfg(not(feature = "audit"))]
+            {
+                let (inner, _timed_out) = cv.wait_timeout(guard, dur).unwrap();
+                inner
+            }
+        }
     }
 
     struct Inner<T> {
@@ -98,6 +212,9 @@ pub mod channel {
 
     /// Creates a bounded channel holding at most `capacity` messages
     /// (minimum 1); `send` blocks while full, `recv` blocks while empty.
+    /// In audit builds the caller's location names the channel's lock
+    /// class.
+    #[cfg_attr(feature = "audit", track_caller)]
     pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
             inner: Mutex::new(Inner {
@@ -110,6 +227,8 @@ pub mod channel {
             }),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
+            #[cfg(feature = "audit")]
+            class: audit::register_class(std::panic::Location::caller()),
         });
         (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
     }
@@ -118,7 +237,7 @@ pub mod channel {
         /// Blocks until space is available, then enqueues `msg`. Fails and
         /// returns the message when every receiver has been dropped.
         pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
-            let mut inner = self.shared.inner.lock().unwrap();
+            let mut inner = self.shared.lock_inner();
             loop {
                 if inner.receivers == 0 {
                     return Err(SendError(msg));
@@ -133,7 +252,7 @@ pub mod channel {
                     return Ok(());
                 }
                 inner.send_waiters += 1;
-                inner = self.shared.not_full.wait(inner).unwrap();
+                inner = self.shared.wait_on(&self.shared.not_full, inner);
                 inner.send_waiters -= 1;
             }
         }
@@ -142,7 +261,7 @@ pub mod channel {
         /// right now, handing the message back on a full or disconnected
         /// channel.
         pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
-            let mut inner = self.shared.inner.lock().unwrap();
+            let mut inner = self.shared.lock_inner();
             if inner.receivers == 0 {
                 return Err(TrySendError::Disconnected(msg));
             }
@@ -160,7 +279,7 @@ pub mod channel {
 
         /// Messages currently queued.
         pub fn len(&self) -> usize {
-            self.shared.inner.lock().unwrap().queue.len()
+            self.shared.lock_inner().queue.len()
         }
 
         /// Whether the queue is currently empty.
@@ -171,14 +290,14 @@ pub mod channel {
 
     impl<T> Clone for Sender<T> {
         fn clone(&self) -> Self {
-            self.shared.inner.lock().unwrap().senders += 1;
+            self.shared.lock_inner().senders += 1;
             Sender { shared: Arc::clone(&self.shared) }
         }
     }
 
     impl<T> Drop for Sender<T> {
         fn drop(&mut self) {
-            let mut inner = self.shared.inner.lock().unwrap();
+            let mut inner = self.shared.lock_inner();
             inner.senders -= 1;
             if inner.senders == 0 {
                 drop(inner);
@@ -191,7 +310,7 @@ pub mod channel {
         /// Blocks until a message arrives; fails once the channel is empty
         /// and every sender has been dropped.
         pub fn recv(&self) -> Result<T, RecvError> {
-            let mut inner = self.shared.inner.lock().unwrap();
+            let mut inner = self.shared.lock_inner();
             loop {
                 if let Some(msg) = inner.queue.pop_front() {
                     let wake = inner.send_waiters > 0;
@@ -205,7 +324,7 @@ pub mod channel {
                     return Err(RecvError);
                 }
                 inner.recv_waiters += 1;
-                inner = self.shared.not_empty.wait(inner).unwrap();
+                inner = self.shared.wait_on(&self.shared.not_empty, inner);
                 inner.recv_waiters -= 1;
             }
         }
@@ -215,7 +334,7 @@ pub mod channel {
         /// the channel is empty and every sender has been dropped.
         pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
             let deadline = std::time::Instant::now() + timeout;
-            let mut inner = self.shared.inner.lock().unwrap();
+            let mut inner = self.shared.lock_inner();
             loop {
                 if let Some(msg) = inner.queue.pop_front() {
                     let wake = inner.send_waiters > 0;
@@ -234,16 +353,14 @@ pub mod channel {
                     return Err(RecvTimeoutError::Timeout);
                 };
                 inner.recv_waiters += 1;
-                let (guard, _timed_out) =
-                    self.shared.not_empty.wait_timeout(inner, remaining).unwrap();
-                inner = guard;
+                inner = self.shared.wait_timeout_on(&self.shared.not_empty, inner, remaining);
                 inner.recv_waiters -= 1;
             }
         }
 
         /// Non-blocking receive.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
-            let mut inner = self.shared.inner.lock().unwrap();
+            let mut inner = self.shared.lock_inner();
             if let Some(msg) = inner.queue.pop_front() {
                 let wake = inner.send_waiters > 0;
                 drop(inner);
@@ -261,7 +378,7 @@ pub mod channel {
 
         /// Messages currently queued.
         pub fn len(&self) -> usize {
-            self.shared.inner.lock().unwrap().queue.len()
+            self.shared.lock_inner().queue.len()
         }
 
         /// Whether the queue is currently empty.
@@ -272,14 +389,14 @@ pub mod channel {
 
     impl<T> Clone for Receiver<T> {
         fn clone(&self) -> Self {
-            self.shared.inner.lock().unwrap().receivers += 1;
+            self.shared.lock_inner().receivers += 1;
             Receiver { shared: Arc::clone(&self.shared) }
         }
     }
 
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
-            let mut inner = self.shared.inner.lock().unwrap();
+            let mut inner = self.shared.lock_inner();
             inner.receivers -= 1;
             if inner.receivers == 0 {
                 drop(inner);

@@ -5,37 +5,82 @@
 //! translated into a panic propagation: if a writer panicked, subsequent
 //! accessors panic too, which matches how this workspace uses the locks
 //! (any poisoned detector state is unrecoverable anyway).
+//!
+//! With the `audit` feature, every lock additionally belongs to a lock
+//! *class* keyed by its creation site (lockdep-style, so the thousands of
+//! per-request locks created at one line collapse into one node), and
+//! every acquisition records held-before edges into a global class-order
+//! graph with on-line cycle detection. See [`audit`].
 
 use std::sync::{self, LockResult};
 
+#[cfg(feature = "audit")]
+pub mod audit;
+
 /// Guard aliases matching parking_lot's public names (the std guards
 /// stand in for the real crate's non-poisoning guards).
+#[cfg(not(feature = "audit"))]
 pub use std::sync::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
-/// Non-poisoning reader–writer lock.
-#[derive(Debug, Default)]
-pub struct RwLock<T> {
-    inner: sync::RwLock<T>,
-}
+#[cfg(feature = "audit")]
+pub use audit_guards::{MutexGuard, RwLockReadGuard, RwLockWriteGuard};
 
 fn unpoison<G>(result: LockResult<G>) -> G {
     result.unwrap_or_else(|_| panic!("lock poisoned by a panicked holder"))
 }
 
+/// Non-poisoning reader–writer lock.
+#[derive(Debug)]
+pub struct RwLock<T> {
+    inner: sync::RwLock<T>,
+    #[cfg(feature = "audit")]
+    class: audit::ClassId,
+}
+
 impl<T> RwLock<T> {
-    /// Creates the lock.
+    /// Creates the lock. The caller's location names the lock class in
+    /// audit builds.
+    #[track_caller]
     pub fn new(value: T) -> Self {
-        RwLock { inner: sync::RwLock::new(value) }
+        RwLock {
+            inner: sync::RwLock::new(value),
+            #[cfg(feature = "audit")]
+            class: audit::register_class(std::panic::Location::caller()),
+        }
     }
 
     /// Acquires a shared read guard.
-    pub fn read(&self) -> sync::RwLockReadGuard<'_, T> {
+    #[cfg(not(feature = "audit"))]
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
         unpoison(self.inner.read())
     }
 
+    /// Acquires a shared read guard, recording the acquisition in the
+    /// lock-order graph.
+    #[cfg(feature = "audit")]
+    #[track_caller]
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        audit::before_acquire(self.class, std::panic::Location::caller());
+        let inner = unpoison(self.inner.read());
+        audit::after_acquire(self.class);
+        RwLockReadGuard { inner, class: self.class }
+    }
+
     /// Acquires an exclusive write guard.
-    pub fn write(&self) -> sync::RwLockWriteGuard<'_, T> {
+    #[cfg(not(feature = "audit"))]
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
         unpoison(self.inner.write())
+    }
+
+    /// Acquires an exclusive write guard, recording the acquisition in
+    /// the lock-order graph.
+    #[cfg(feature = "audit")]
+    #[track_caller]
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        audit::before_acquire(self.class, std::panic::Location::caller());
+        let inner = unpoison(self.inner.write());
+        audit::after_acquire(self.class);
+        RwLockWriteGuard { inner, class: self.class }
     }
 
     /// Consumes the lock, returning the value.
@@ -44,26 +89,142 @@ impl<T> RwLock<T> {
     }
 }
 
+impl<T: Default> Default for RwLock<T> {
+    #[track_caller]
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
 /// Non-poisoning mutex.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Mutex<T> {
     inner: sync::Mutex<T>,
+    #[cfg(feature = "audit")]
+    class: audit::ClassId,
 }
 
 impl<T> Mutex<T> {
-    /// Creates the mutex.
+    /// Creates the mutex. The caller's location names the lock class in
+    /// audit builds.
+    #[track_caller]
     pub fn new(value: T) -> Self {
-        Mutex { inner: sync::Mutex::new(value) }
+        Mutex {
+            inner: sync::Mutex::new(value),
+            #[cfg(feature = "audit")]
+            class: audit::register_class(std::panic::Location::caller()),
+        }
     }
 
     /// Acquires the lock.
-    pub fn lock(&self) -> sync::MutexGuard<'_, T> {
+    #[cfg(not(feature = "audit"))]
+    pub fn lock(&self) -> MutexGuard<'_, T> {
         unpoison(self.inner.lock())
+    }
+
+    /// Acquires the lock, recording the acquisition in the lock-order
+    /// graph.
+    #[cfg(feature = "audit")]
+    #[track_caller]
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        audit::before_acquire(self.class, std::panic::Location::caller());
+        let inner = unpoison(self.inner.lock());
+        audit::after_acquire(self.class);
+        MutexGuard { inner, class: self.class }
     }
 
     /// Consumes the mutex, returning the value.
     pub fn into_inner(self) -> T {
         unpoison(self.inner.into_inner())
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    #[track_caller]
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+/// Guard wrappers for audit builds: same public names as the std
+/// re-exports, plus a `Drop` that pops the class from the holder's
+/// held-lock stack.
+#[cfg(feature = "audit")]
+mod audit_guards {
+    use super::audit;
+    use std::ops::{Deref, DerefMut};
+    use std::sync;
+
+    /// Mutex guard that reports its release to the audit layer.
+    #[derive(Debug)]
+    pub struct MutexGuard<'a, T: ?Sized> {
+        pub(super) inner: sync::MutexGuard<'a, T>,
+        pub(super) class: audit::ClassId,
+    }
+
+    impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.inner
+        }
+    }
+
+    impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.inner
+        }
+    }
+
+    impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            audit::on_release(self.class);
+        }
+    }
+
+    /// Shared rwlock guard that reports its release to the audit layer.
+    #[derive(Debug)]
+    pub struct RwLockReadGuard<'a, T: ?Sized> {
+        pub(super) inner: sync::RwLockReadGuard<'a, T>,
+        pub(super) class: audit::ClassId,
+    }
+
+    impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.inner
+        }
+    }
+
+    impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+        fn drop(&mut self) {
+            audit::on_release(self.class);
+        }
+    }
+
+    /// Exclusive rwlock guard that reports its release to the audit layer.
+    #[derive(Debug)]
+    pub struct RwLockWriteGuard<'a, T: ?Sized> {
+        pub(super) inner: sync::RwLockWriteGuard<'a, T>,
+        pub(super) class: audit::ClassId,
+    }
+
+    impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.inner
+        }
+    }
+
+    impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.inner
+        }
+    }
+
+    impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+        fn drop(&mut self) {
+            audit::on_release(self.class);
+        }
     }
 }
 
