@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Flake gate for process-spawning test binaries.
+
+The distributed tests fork real shard-server child processes, SIGKILL
+them mid-ingest, and race recovery against the OS — exactly the kind of
+test that can pass once and flake forever after. This gate reruns the
+command N times in sequence and fails on ANY failing run, printing which
+runs failed so a nondeterministic test (some runs pass, some fail) is
+distinguishable from a deterministic regression (every run fails).
+
+Each run gets a per-run wall-clock budget; a hung run (a child process
+that never dies, a drain loop that never drains) is killed and counted
+as a failure rather than wedging CI.
+
+Usage:
+    ci/check_flakes.py [--runs 10] [--timeout-s 600] -- <command> [args...]
+    ci/check_flakes.py --self-test
+"""
+
+import argparse
+import subprocess
+import sys
+import time
+
+
+def run_once(command, timeout_s):
+    """One run: (passed, seconds, detail)."""
+    started = time.monotonic()
+    try:
+        proc = subprocess.run(command, capture_output=True, text=True,
+                              timeout=timeout_s)
+    except subprocess.TimeoutExpired:
+        return False, time.monotonic() - started, "timed out"
+    except OSError as e:
+        return False, time.monotonic() - started, f"failed to start: {e}"
+    elapsed = time.monotonic() - started
+    if proc.returncode != 0:
+        tail = (proc.stdout + proc.stderr).splitlines()[-15:]
+        return False, elapsed, "rc {}:\n    {}".format(
+            proc.returncode, "\n    ".join(tail))
+    return True, elapsed, ""
+
+
+def self_test():
+    """Drives this gate against three synthetic commands: a stable pass
+    must pass, a run-2-only failure (a simulated flake, keyed off a
+    marker file) must fail, and a stable failure must fail."""
+    import os
+    import tempfile
+
+    script = os.path.abspath(__file__)
+    with tempfile.TemporaryDirectory() as tmp:
+        marker = os.path.join(tmp, "flake-marker")
+        flaky = (
+            "import os, sys\n"
+            f"p = {marker!r}\n"
+            "if os.path.exists(p):\n"
+            "    sys.exit(1)\n"
+            "open(p, 'w').close()\n"
+        )
+        cases = [
+            ("stable pass", True,
+             [sys.executable, "-c", "import sys; sys.exit(0)"]),
+            ("flaky (fails from run 2)", False,
+             [sys.executable, "-c", flaky]),
+            ("stable fail", False,
+             [sys.executable, "-c", "import sys; sys.exit(1)"]),
+        ]
+        for name, expect_ok, command in cases:
+            proc = subprocess.run(
+                [sys.executable, script, "--runs", "3", "--", *command],
+                capture_output=True, text=True)
+            ok = proc.returncode == 0
+            if ok != expect_ok:
+                print(proc.stdout)
+                print(proc.stderr, file=sys.stderr)
+                sys.exit(f"FAIL: self-test case {name!r} expected "
+                         f"{'pass' if expect_ok else 'fail'} but got rc "
+                         f"{proc.returncode}")
+    print("OK: self-test — stable pass passes, flaky and stable failures fail")
+    return 0
+
+
+def main():
+    if "--self-test" in sys.argv[1:]:
+        return self_test()
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--runs", type=int, default=10,
+                        help="number of consecutive runs (default 10)")
+    parser.add_argument("--timeout-s", type=float, default=600.0,
+                        help="per-run wall-clock budget (default 600s)")
+    parser.add_argument("command", nargs=argparse.REMAINDER,
+                        help="the test command, after a literal --")
+    args = parser.parse_args()
+    command = args.command
+    if command and command[0] == "--":
+        command = command[1:]
+    if not command:
+        parser.error("no command given (pass it after a literal --)")
+    if args.runs < 1:
+        parser.error("--runs must be at least 1")
+
+    failed = []
+    for run in range(1, args.runs + 1):
+        passed, elapsed, detail = run_once(command, args.timeout_s)
+        verdict = "ok" if passed else "FAIL"
+        print(f"run {run:>3}/{args.runs}: {verdict} in {elapsed:.1f}s")
+        if not passed:
+            failed.append(run)
+            print(f"  {detail}", file=sys.stderr)
+
+    if failed:
+        kind = ("nondeterministic (flaky)" if len(failed) < args.runs
+                else "deterministic")
+        print(f"\nFAIL: {len(failed)}/{args.runs} runs failed "
+              f"(runs {failed}) — {kind} failure of: {' '.join(command)}",
+              file=sys.stderr)
+        return 1
+    print(f"\nOK: {args.runs}/{args.runs} consecutive runs passed: "
+          f"{' '.join(command)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

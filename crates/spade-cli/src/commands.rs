@@ -5,13 +5,15 @@ use spade_core::metric::{DensityMetric, Fraudar, UnweightedDensity, WeightedDens
 use spade_core::{
     load_engine, save_engine, EdgeGrouper, GroupingConfig, MigrationReport, PartitionStrategy,
     RepairConfig, RepairedDetection, ShardedConfig, ShardedSpadeService, SpadeConfig, SpadeEngine,
+    SpadeService,
 };
 use spade_gen::datasets::DatasetSpec;
 use spade_graph::io::{read_edge_list, EdgeRecord};
 use spade_graph::VertexId;
 use spade_metrics::Table;
 use spade_net::{
-    ClientConfig, MetricsHttpServer, NetStats, ReactorConfig, SpadeNetClient, SpadeNetServer,
+    ClientConfig, MetricsHttpServer, NetStats, ReactorConfig, RouterConfig, ShardServer,
+    ShardServerConfig, SpadeNetClient, SpadeNetServer, SpadeRouter,
 };
 use std::error::Error;
 use std::sync::Arc;
@@ -94,6 +96,11 @@ USAGE:
   spade ingest   <addr> <edges.txt> [--batch N] [--pipeline N]
                  [--deadline-ms F] [--detect] [--stats] [--shutdown]
   spade watch    <addr> [--interval ms] [--count N]
+  spade shard-serve [--listen <addr>] [--metric dg|dw|fd] [--queue N]
+                 [--grouping]
+  spade route    <edges.txt> <addr>... [--batch N] [--repair-hops K]
+                 [--partition hash|connectivity|conn:<max_component>]
+                 [--no-replicate] [--consolidate] [--shutdown]
   spade gen      [--dataset Grab1] [--scale 0.01] [--seed 42] [--out FILE]
   spade snapshot <edges.txt> --out FILE [--metric dg|dw|fd]
   spade resume   <FILE> [--metric dg|dw|fd] [--top N]
@@ -150,6 +157,18 @@ the wire and prints a refreshing table of updates, per-shard queue
 depths (back-pressure before Busy fires), and stage latencies; each poll
 flushes, so watch a live workload rather than an idle server for
 representative numbers.
+
+`shard-serve` and `route` are the *multi-process* distributed runtime:
+each `shard-serve` process hosts one detection engine behind the
+protocol-v3 shard listener (its first stdout line is the bound address —
+port 0 picks a free port), and `route` replays an edge list across N
+such processes. The router journals every batch on the next shard over
+before its home applies it, so a SIGKILL'd shard can be restarted and
+reseeded from its replica's journal with zero acked-edge loss (single
+failure tolerated). After the replay `route` runs the cross-shard repair
+pass over the wire and reports the stitched detection;
+`--consolidate` then migrates the repaired community whole onto its
+baseline shard, and `--shutdown` stops the shard processes.
 
 Edge lists are whitespace-separated `src dst [raw] [timestamp]` lines."
     );
@@ -539,6 +558,117 @@ pub fn ingest(args: &Args) -> Result<(), AnyError> {
     if args.flag("shutdown") {
         client.shutdown_server()?;
         println!("server shutdown requested");
+    }
+    Ok(())
+}
+
+/// `spade shard-serve [--listen <addr>]`: one shard of the multi-process
+/// distributed runtime. Hosts a single [`SpadeService`] behind the
+/// protocol-v3 shard listener (ingest plus `Region`, `MigrateOut`,
+/// `Absorb`, `Replicate`, and `Bootstrap`) and prints the bound address
+/// on the first stdout line so a parent process can scrape the chosen
+/// port. Runs until a router sends `Shutdown`.
+pub fn shard_serve(args: &Args) -> Result<(), AnyError> {
+    let metric = metric_from(args)?;
+    let addr = args.str_opt("listen", &ShardServerConfig::default().addr);
+    let queue = args.num_opt("queue", 1024usize)?.max(1);
+    let grouping = args.flag("grouping").then(GroupingConfig::default);
+    let service = Arc::new(SpadeService::spawn(SpadeEngine::new(metric), grouping, queue));
+    let mut server = ShardServer::spawn(Arc::clone(&service), &ShardServerConfig { addr })
+        .map_err(|e| format!("cannot listen: {e}"))?;
+    // The first stdout line is machine-read by the router-side harness;
+    // flush so a pipe reader sees it before the blocking serve loop.
+    println!("{}", server.local_addr());
+    use std::io::Write as _;
+    std::io::stdout().flush()?;
+    while !server.stopping() {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    server.stop();
+    drop(server);
+    let service = Arc::try_unwrap(service)
+        .map_err(|_| "a shard connection thread still holds the runtime")?;
+    let det = service.shutdown();
+    eprintln!(
+        "shard stopped: {} members, density {:.3}, {} updates applied",
+        det.size, det.density, det.updates_applied,
+    );
+    Ok(())
+}
+
+/// `spade route <edges.txt> <addr>...`: the router tier. Replays an edge
+/// list across N shard-serve processes (replicated journaling on, so
+/// every acked batch survives a single shard crash), runs the
+/// cross-shard repair pass over the wire, optionally consolidates the
+/// repaired community onto its baseline shard, and reports the
+/// distributed detection plus router accounting.
+pub fn route(args: &Args) -> Result<(), AnyError> {
+    let path = args.pos(0).ok_or("route needs an edge-list path")?;
+    let addrs: Vec<String> = (1..).map_while(|i| args.pos(i).map(str::to_string)).collect();
+    if addrs.is_empty() {
+        return Err("route needs at least one shard address".into());
+    }
+    let records = load_records(path)?;
+    let strategy = match args.options.get("partition").filter(|name| !name.is_empty()) {
+        Some(name) => PartitionStrategy::from_name(name).ok_or_else(|| {
+            format!(
+                "unknown partitioner {name:?} (expected hash, connectivity, or \
+                 conn:<max_component>)"
+            )
+        })?,
+        None => PartitionStrategy::default(),
+    };
+    let config = RouterConfig {
+        batch_edges: args.num_opt("batch", RouterConfig::default().batch_edges)?.max(1),
+        hops: args.num_opt("repair-hops", RouterConfig::default().hops)?,
+        strategy,
+        replicate: !args.flag("no-replicate"),
+        ..Default::default()
+    };
+    let mut router = SpadeRouter::connect(&addrs, config)
+        .map_err(|e| format!("cannot connect to shards: {e}"))?;
+    let started = Instant::now();
+    for r in &records {
+        router.submit(r.src, r.dst, r.weight)?;
+    }
+    router.flush_batches()?;
+    let outcome = router.repair()?;
+    let elapsed = started.elapsed().as_secs_f64();
+    let stats = router.stats();
+    println!(
+        "{} edges acked across {} shards in {:.1} ms ({:.0} tx/s, {} batches, \
+         {} replicated, {} busy retries)",
+        stats.edges_acked,
+        router.num_shards(),
+        elapsed * 1e3,
+        stats.edges_acked as f64 / elapsed.max(1e-9),
+        stats.batches,
+        stats.replicated,
+        stats.busy_retries,
+    );
+    let sample: Vec<String> = outcome.members.iter().take(8).map(|m| m.0.to_string()).collect();
+    println!(
+        "repaired detection: {} members, density {:.3} (baseline {:.3} on shard {}, \
+         {} shard views merged, accounts {})",
+        outcome.size,
+        outcome.density,
+        outcome.baseline_density,
+        outcome.baseline_shard,
+        outcome.merged_shards.len(),
+        sample.join(","),
+    );
+    if args.flag("consolidate") {
+        let moved = router.consolidate(&outcome)?;
+        let baseline = router.detect(outcome.baseline_shard)?;
+        println!(
+            "consolidated {} edges onto shard {}: local detection now {} members, \
+             density {:.3}",
+            moved, outcome.baseline_shard, baseline.size, baseline.density,
+        );
+    }
+    if args.flag("shutdown") {
+        router.shutdown_shards()?;
+        println!("shard shutdown requested");
     }
     Ok(())
 }

@@ -9,6 +9,9 @@
 //! spade ingest <addr> <edges.txt> [--batch N] [--pipeline N]
 //!              [--detect] [--stats] [--shutdown]
 //! spade watch  <addr> [--interval ms] [--count N]
+//! spade shard-serve [--listen <addr>] [--metric ...] [--queue N]
+//! spade route  <edges.txt> <addr>... [--batch N] [--partition ...]
+//!              [--consolidate] [--shutdown]
 //! spade gen    [--dataset Grab1] [--scale 0.01] [--seed N] [--out FILE]
 //! spade snapshot <edges.txt> --out <file.spade> [--metric ...]
 //! spade resume  <file.spade> [--metric ...] [--top N]
@@ -39,6 +42,8 @@ fn main() -> ExitCode {
         "serve" => commands::serve(&args),
         "ingest" => commands::ingest(&args),
         "watch" => commands::watch(&args),
+        "shard-serve" => commands::shard_serve(&args),
+        "route" => commands::route(&args),
         "gen" => commands::generate(&args),
         "snapshot" => commands::snapshot(&args),
         "resume" => commands::resume(&args),

@@ -242,6 +242,9 @@ enum Command {
     InsertBatch { edges: Vec<(VertexId, VertexId, f64)>, queued: Instant, budget: Option<Duration> },
     /// Apply any buffered benign edges now.
     Flush,
+    /// Drain marker: reply once every command queued before it has been
+    /// applied and the resulting detection published.
+    Barrier { reply: Sender<()> },
     /// Export the current detection plus a `hops`-hop frontier subgraph.
     Region { hops: usize, reply: Sender<CandidateRegion> },
     /// Extract the induced slice over `members`, evict it from this
@@ -579,6 +582,19 @@ impl SpadeService {
         self.sender.send(Command::Flush).is_ok()
     }
 
+    /// Read-your-acks barrier: blocks until the worker has applied every
+    /// transaction submitted before this call and published the
+    /// resulting detection. Grouped benign edges stay buffered — the
+    /// published detection excludes them, and the barrier agrees with
+    /// it. Returns `false` if the service has shut down.
+    pub fn barrier(&self) -> bool {
+        let (reply, receiver) = bounded(1);
+        if self.sender.send(Command::Barrier { reply }).is_err() {
+            return false;
+        }
+        receiver.recv().is_ok()
+    }
+
     /// Exports this worker's candidate region: its current detection plus
     /// a `hops`-hop frontier of boundary edges, serialized with the
     /// persist subgraph codec. Blocks until the worker reaches the
@@ -886,6 +902,15 @@ fn worker_loop<M: DensityMetric + Send + 'static>(
                             metrics.registry.event(EventKind::Flush, updates);
                         }
                     }
+                }
+                Command::Barrier { reply } => {
+                    // Same drain-and-publish as a Region export, minus
+                    // the snapshot: after the reply, `updates_applied`
+                    // and the published detection cover every earlier
+                    // command in the FIFO.
+                    apply_batch(&mut engine, &mut batch, &mut pending, &mut updates, &metrics);
+                    publisher.publish(&mut engine, &shared, updates, &metrics);
+                    let _ = reply.send(());
                 }
                 Command::Region { hops, reply } => {
                     // Regions reflect everything submitted before the

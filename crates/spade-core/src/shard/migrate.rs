@@ -186,6 +186,45 @@ pub fn pick_load_move(
     Some((hot, cold))
 }
 
+/// Plans up to [`MigrationPolicy::max_load_moves`] load-balancing moves
+/// from **one** observation of the windowed counters — the multi-move
+/// upgrade of [`pick_load_move`]. The scheduler executes the whole plan
+/// under a single window reset and one routing-lock session, so a pass
+/// can drain several hot shards (or shed several components off one)
+/// instead of re-observing — and re-waiting a full window — between
+/// moves.
+///
+/// Each planned move transfers half of the hot/cold gap in simulation
+/// (the expectation for shedding the dominant component: the move that
+/// equalizes the pair); the next move is picked against the simulated
+/// loads, so the plan never ping-pongs a component back. Planning stops
+/// when the simulated fleet is balanced, the transfer rounds to zero, or
+/// the cap is reached. Pure, like [`pick_load_move`].
+pub fn pick_load_moves(
+    window: &[u64],
+    resident_edges: &[u64],
+    policy: &MigrationPolicy,
+) -> Vec<(usize, usize)> {
+    let mut window = window.to_vec();
+    let mut plan = Vec::new();
+    while plan.len() < policy.max_load_moves {
+        let Some((hot, cold)) = pick_load_move(&window, resident_edges, policy) else {
+            break;
+        };
+        // Simulate the transfer before planning further. A zero
+        // transfer (gap < 2) cannot change the picture; stop rather
+        // than loop on an identical observation.
+        let moved = (window[hot] - window[cold]) / 2;
+        if moved == 0 {
+            break;
+        }
+        window[hot] -= moved;
+        window[cold] += moved;
+        plan.push((hot, cold));
+    }
+    plan
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -239,6 +278,45 @@ mod tests {
         );
         // A missing size entry counts as an empty engine.
         assert_eq!(pick_load_move(&[2_000, 0, 300, 0], &[10, 7], &policy), Some((0, 3)));
+    }
+
+    #[test]
+    fn multi_move_plan_drains_several_hot_shards_in_one_pass() {
+        let policy = MigrationPolicy { min_updates: 100, max_load_moves: 4, ..Default::default() };
+        // Shards 0 and 2 both run far ahead of the mean; 1 and 3 are
+        // idle. One observation must plan a move off each hot shard —
+        // the single-move picker would shed only shard 2 and leave
+        // shard 0 hot until the *next* pass re-observes.
+        let window = [4_000, 0, 5_000, 0];
+        let plan = pick_load_moves(&window, NO_SIZES, &policy);
+        assert_eq!(plan[0], (2, 1), "hottest shard sheds first, toward the coldest");
+        assert!(
+            plan.iter().any(|&(hot, _)| hot == 0),
+            "the second hot shard must be drained in the same pass: {plan:?}"
+        );
+        // Every planned source was hot in the original observation and
+        // no pair repeats.
+        for &(hot, cold) in &plan {
+            assert_ne!(hot, cold);
+        }
+        let mut pairs = plan.clone();
+        pairs.dedup();
+        assert_eq!(pairs.len(), plan.len(), "a plan never repeats a pair back-to-back");
+    }
+
+    #[test]
+    fn multi_move_plan_respects_the_cap_and_balanced_fleets() {
+        let capped = MigrationPolicy { min_updates: 100, max_load_moves: 1, ..Default::default() };
+        assert_eq!(pick_load_moves(&[4_000, 0, 5_000, 0], NO_SIZES, &capped).len(), 1);
+        let policy = MigrationPolicy { min_updates: 100, max_load_moves: 8, ..Default::default() };
+        assert!(pick_load_moves(&[500, 510, 490, 505], NO_SIZES, &policy).is_empty());
+        // A mildly hot shard plans one equalizing move, after which the
+        // simulated fleet is balanced — the plan must not thrash.
+        let plan = pick_load_moves(&[2_000, 500, 600, 550], NO_SIZES, &policy);
+        assert_eq!(plan, vec![(0, 1)]);
+        // The simulation must terminate even with a pathological cap.
+        let wide = MigrationPolicy { min_updates: 0, max_load_moves: 1_000, ..Default::default() };
+        assert!(pick_load_moves(&[3, 0], NO_SIZES, &wide).len() < 1_000);
     }
 
     #[test]

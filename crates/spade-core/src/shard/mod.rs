@@ -41,8 +41,8 @@ pub mod service;
 
 pub use aggregate::{DetectionAggregator, GlobalDetection, ShardDetection};
 pub use migrate::{
-    pick_load_move, MigrationPolicy, MigrationRecord, MigrationReport, MigrationStats,
-    MigrationTrigger,
+    pick_load_move, pick_load_moves, MigrationPolicy, MigrationRecord, MigrationReport,
+    MigrationStats, MigrationTrigger,
 };
 pub use partition::{
     ConnectivityPartitioner, HashPartitioner, PartitionStrategy, Partitioner, StrandEvent,

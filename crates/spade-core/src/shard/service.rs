@@ -28,8 +28,8 @@ use crate::service::{
 };
 use crate::shard::aggregate::{DetectionAggregator, GlobalDetection};
 use crate::shard::migrate::{
-    pick_load_move, MigrationPolicy, MigrationRecord, MigrationReport, MigrationStats,
-    MigrationTrigger,
+    pick_load_move, pick_load_moves, MigrationPolicy, MigrationRecord, MigrationReport,
+    MigrationStats, MigrationTrigger,
 };
 use crate::shard::partition::{HashPartitioner, PartitionStrategy, Partitioner};
 use crate::shard::repair::{
@@ -684,48 +684,58 @@ impl ShardedSpadeService {
             );
         }
 
-        // Load balancing: shed the largest pinned component of a shard
-        // whose traffic *since the last load move* runs ahead of the
-        // imbalance ratio. Rehome and stage the eviction marker UNDER
-        // the routing lock so in-flight edges split cleanly:
-        // routed-before ones are already queued ahead of the marker
-        // (drained into the slice), routed-after ones follow the new
-        // home.
-        for _ in 0..self.migration_policy.max_load_moves {
-            let stats: Vec<ServiceStats> = self.shards.iter().map(|s| s.stats()).collect();
-            let updates: Vec<u64> = stats.iter().map(|s| s.updates_applied).collect();
-            let resident: Vec<u64> = stats.iter().map(|s| s.edges_resident).collect();
-            let window = state.load_window(&updates);
-            let Some((hot, cold)) = pick_load_move(&window, &resident, &self.migration_policy)
-            else {
-                break;
-            };
-            // Acknowledge the signal whether or not a move materializes:
-            // the window restarts here, so a shard that was hot once
-            // (or has nothing pinned to shed) is not re-flagged forever.
+        // Load balancing: shed the largest pinned component of every
+        // shard whose traffic *since the last load move* runs ahead of
+        // the imbalance ratio. The whole multi-move plan comes from ONE
+        // observation of the windowed counters (`pick_load_moves`) and
+        // is staged under ONE routing-lock session — every rehome and
+        // eviction marker lands before the lock drops, so all the
+        // pass's moves split in-flight edges against a single
+        // consistent routing epoch instead of re-observing (and
+        // re-waiting a full window) between moves.
+        let stats: Vec<ServiceStats> = self.shards.iter().map(|s| s.stats()).collect();
+        let updates: Vec<u64> = stats.iter().map(|s| s.updates_applied).collect();
+        let resident: Vec<u64> = stats.iter().map(|s| s.edges_resident).collect();
+        let window = state.load_window(&updates);
+        let plan = pick_load_moves(&window, &resident, &self.migration_policy);
+        if !plan.is_empty() {
+            // Acknowledge the signal whether or not the moves
+            // materialize: the window restarts here, so a shard that
+            // was hot once (or has nothing pinned to shed) is not
+            // re-flagged forever.
             state.load_baseline = updates;
-            let staged = {
-                let Some(mut table) = self.router.table() else { break };
-                let Some((member, _)) =
-                    table.homed_components(hot).into_iter().max_by_key(|&(_, size)| size)
-                else {
-                    break;
-                };
-                table.rehome(member, cold);
-                let members: Arc<[VertexId]> = table.component_members(member).into();
-                self.shards[hot].request_migrate_out(members).map(|rx| (member, rx))
+            let staged: Vec<(VertexId, usize, usize, _)> = match self.router.table() {
+                Some(mut table) => plan
+                    .into_iter()
+                    .filter_map(|(hot, cold)| {
+                        // `homed_components` reflects the rehomes staged
+                        // earlier in this session, so a second move off
+                        // the same hot shard picks its next-largest
+                        // component, never the one already claimed.
+                        let (member, _) = table
+                            .homed_components(hot)
+                            .into_iter()
+                            .max_by_key(|&(_, size)| size)?;
+                        table.rehome(member, cold);
+                        let members: Arc<[VertexId]> = table.component_members(member).into();
+                        let rx = self.shards[hot].request_migrate_out(members)?;
+                        Some((member, hot, cold, rx))
+                    })
+                    .collect(),
+                None => Vec::new(),
             };
-            let Some((member, rx)) = staged else { break };
-            if !self.complete_move(
-                MigrationTrigger::LoadBalance,
-                member,
-                hot,
-                cold,
-                rx,
-                &mut state.stats,
-                &mut report,
-            ) {
-                break;
+            for (member, hot, cold, rx) in staged {
+                if !self.complete_move(
+                    MigrationTrigger::LoadBalance,
+                    member,
+                    hot,
+                    cold,
+                    rx,
+                    &mut state.stats,
+                    &mut report,
+                ) {
+                    break;
+                }
             }
         }
         report.routing_epoch = self.router.table().map(|p| p.routing_epoch()).unwrap_or(0);

@@ -31,8 +31,12 @@
 //! ```
 //!
 //! Requests: `Edge`, `Batch`, `Flush`, `Detect`, `Stats`, `Shutdown`,
-//! `Metrics`. Replies: `Ack`, `Busy`, `Detection`, `StatsReply`,
-//! `MetricsReply`, `Error`. The decoder rejects truncated, oversized,
+//! `Metrics`, plus the protocol-v3 shard-server operations `Region`,
+//! `MigrateOut`, `Absorb`, `Replicate`, and `Bootstrap` (served by
+//! [`ShardServer`], driven by [`SpadeRouter`]). Replies: `Ack`, `Busy`,
+//! `Detection`, `StatsReply`, `MetricsReply`, `RegionReply`,
+//! `SliceReply`, `AbsorbReply`, `BootstrapChunk`, `Error`.
+//! The decoder rejects truncated, oversized,
 //! and structurally invalid frames with an error — never a panic —
 //! mirroring the overflow-safe section checks of the
 //! `spade_core::persist` snapshot codec.
@@ -46,15 +50,20 @@
 pub mod client;
 pub mod http;
 pub mod reactor;
+pub mod router;
 pub mod server;
+pub mod shard_server;
 pub mod wire;
 
 pub use client::{ClientConfig, ClientStats, SpadeNetClient};
 pub use http::MetricsHttpServer;
 pub use reactor::ReactorConfig;
+pub use router::{RouterConfig, RouterStats, SpadeRouter};
 pub use server::{NetStats, SpadeNetServer};
+pub use shard_server::{ShardServer, ShardServerConfig};
 pub use wire::{
-    read_frame, write_frame, DetectionReply, FrameDecoder, MetricsReply, StatsReply, WireError,
-    WireFrame, MAX_BATCH_EDGES, MAX_DETECTION_MEMBERS, MAX_EXPOSITION_BYTES, MAX_FRAME_BYTES,
-    MAX_STATS_SHARDS, METRICS_VERSION, PROTOCOL_VERSION,
+    read_frame, write_frame, AbsorbReply, BootstrapChunk, DetectionReply, FrameDecoder,
+    MetricsReply, RegionReply, StatsReply, WireError, WireFrame, WireSlice, MAX_BATCH_EDGES,
+    MAX_DETECTION_MEMBERS, MAX_EXPOSITION_BYTES, MAX_FRAME_BYTES, MAX_MIGRATE_MEMBERS,
+    MAX_SNAPSHOT_BYTES, MAX_STATS_SHARDS, METRICS_VERSION, PROTOCOL_VERSION,
 };

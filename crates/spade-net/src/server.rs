@@ -384,12 +384,31 @@ pub(crate) fn apply_frame(
             stop.store(true, Ordering::Release);
             FrameStep::Close
         }
+        // Shard-server operations (protocol v3) are not served by the
+        // sharded front end — they address one engine, not the fan-in
+        // tier. A router must dial `spade shard-serve` for these.
+        WireFrame::Region { .. }
+        | WireFrame::MigrateOut { .. }
+        | WireFrame::Absorb { .. }
+        | WireFrame::Replicate { .. }
+        | WireFrame::Bootstrap { .. } => {
+            // audit: monotone transport counter, telemetry only
+            telemetry.malformed_frames.fetch_add(1, Ordering::Relaxed);
+            reply(&WireFrame::Error {
+                message: "shard operation sent to the sharded front end".into(),
+            });
+            FrameStep::Close
+        }
         // Reply frames arriving at the server are a protocol violation.
         WireFrame::Ack { .. }
         | WireFrame::Busy { .. }
         | WireFrame::Detection(_)
         | WireFrame::StatsReply(_)
         | WireFrame::MetricsReply(_)
+        | WireFrame::RegionReply(_)
+        | WireFrame::SliceReply(_)
+        | WireFrame::AbsorbReply(_)
+        | WireFrame::BootstrapChunk(_)
         | WireFrame::Error { .. } => {
             // audit: monotone transport counter, telemetry only
             telemetry.malformed_frames.fetch_add(1, Ordering::Relaxed);

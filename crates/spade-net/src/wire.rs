@@ -22,7 +22,10 @@ pub const MAX_FRAME_BYTES: usize = 1 << 20;
 /// `BatchBudget` frame (a `Batch` carrying a per-transaction detection
 /// budget for the SLO scheduler); a v1 server answers its opcode with
 /// `BadOpcode`, so a client that sets a budget needs a v2 server.
-pub const PROTOCOL_VERSION: u32 = 2;
+/// Version 3 added the shard-server operations of the multi-process
+/// runtime — `Region`, `MigrateOut`, `Absorb`, `Replicate`, `Bootstrap`
+/// and their replies — so a router needs v3 shard servers.
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// Most edges one `Batch` frame can carry within [`MAX_FRAME_BYTES`]
 /// (opcode byte + u32 count + 16 bytes per edge). A `BatchBudget` frame
@@ -55,6 +58,20 @@ pub const MAX_EXPOSITION_BYTES: usize = MAX_FRAME_BYTES - 5;
 /// bounds hostile input.
 pub const MAX_STATS_SHARDS: usize = (MAX_FRAME_BYTES - 77) / 8;
 
+/// Largest `SubgraphSnapshot` byte blob one region/slice frame carries:
+/// the fixed headers of every snapshot-bearing frame fit well inside 64
+/// bytes, so producers that keep their encoded snapshot under this bound
+/// are guaranteed an encodable frame. Larger extracts must fail the
+/// operation gracefully (the shard server answers `Error`), never break
+/// framing.
+pub const MAX_SNAPSHOT_BYTES: usize = MAX_FRAME_BYTES - 64;
+
+/// Most member ids a `MigrateOut` request (or a `RegionReply` member
+/// list) ships within [`MAX_FRAME_BYTES`]. Component migration beyond
+/// this bound is refused at encode time — a >260k-vertex "component" is
+/// the benign giant component, not a movable fraud ring.
+pub const MAX_MIGRATE_MEMBERS: usize = (MAX_FRAME_BYTES - 64) / 4;
+
 const OP_EDGE: u8 = 0x01;
 const OP_BATCH: u8 = 0x02;
 const OP_FLUSH: u8 = 0x03;
@@ -63,12 +80,21 @@ const OP_STATS: u8 = 0x05;
 const OP_SHUTDOWN: u8 = 0x06;
 const OP_METRICS: u8 = 0x07;
 const OP_BATCH_BUDGET: u8 = 0x08;
+const OP_REGION: u8 = 0x09;
+const OP_MIGRATE_OUT: u8 = 0x0A;
+const OP_ABSORB: u8 = 0x0B;
+const OP_REPLICATE: u8 = 0x0C;
+const OP_BOOTSTRAP: u8 = 0x0D;
 const OP_ACK: u8 = 0x81;
 const OP_BUSY: u8 = 0x82;
 const OP_DETECTION: u8 = 0x83;
 const OP_STATS_REPLY: u8 = 0x84;
 const OP_ERROR: u8 = 0x85;
 const OP_METRICS_REPLY: u8 = 0x86;
+const OP_REGION_REPLY: u8 = 0x87;
+const OP_SLICE_REPLY: u8 = 0x88;
+const OP_ABSORB_REPLY: u8 = 0x89;
+const OP_BOOTSTRAP_CHUNK: u8 = 0x8A;
 
 /// Errors raised while decoding or transporting frames.
 #[derive(Debug)]
@@ -173,6 +199,85 @@ pub struct MetricsReply {
     pub exposition: String,
 }
 
+/// A shard server's answer to a `Region` request: its local candidate
+/// region — detection summary plus the encoded `SubgraphSnapshot` of the
+/// community and its frontier — the router feeds into the cross-process
+/// repair pass (the wire form of `spade_core::service::CandidateRegion`).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RegionReply {
+    /// Local community size at export time.
+    pub size: u64,
+    /// Local community density on the shard's own graph.
+    pub density: f64,
+    /// Ingest commands the shard worker had consumed at export.
+    pub updates_applied: u64,
+    /// The worker's published detection epoch at export — together with
+    /// `updates_applied` this is the region's exact freshness marker.
+    pub epoch: u64,
+    /// Community members (global vertex ids, **not** truncated — the
+    /// repair pass needs the exact set; encode refuses lists beyond
+    /// [`MAX_MIGRATE_MEMBERS`]).
+    pub members: Vec<VertexId>,
+    /// Encoded `SubgraphSnapshot` over the community plus its frontier.
+    pub encoded: Vec<u8>,
+}
+
+/// A migration slice in flight: the extract → evict → replay pipeline's
+/// payload as it crosses processes (the wire form of
+/// `spade_core::service::MigrationSlice`). Carried by both the
+/// `SliceReply` answer to `MigrateOut` and the `Absorb` request that
+/// replays it at the target shard.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct WireSlice {
+    /// Vertices carried by the slice after pruning.
+    pub vertices: u64,
+    /// Member-to-member edges carried (and already evicted at the
+    /// source).
+    pub edges: u64,
+    /// Total edge suspiciousness carried.
+    pub edge_weight: f64,
+    /// Ingest commands the source worker had consumed at export.
+    pub updates_applied: u64,
+    /// Encoded `SubgraphSnapshot` bytes.
+    pub encoded: Vec<u8>,
+}
+
+impl WireSlice {
+    /// `true` when the source shard held nothing of the component.
+    pub fn is_empty(&self) -> bool {
+        self.vertices == 0 && self.edges == 0
+    }
+}
+
+/// A shard server's answer to an `Absorb` request (the wire form of
+/// `spade_core::service::AbsorbReceipt`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AbsorbReply {
+    /// Slice vertices materialized or re-weighted on the target.
+    pub vertices_touched: u64,
+    /// Slice edges applied (accumulated onto existing weights).
+    pub edges_applied: u64,
+    /// Slice entries dropped (undecodable bytes or invalid weights).
+    pub rejected: u64,
+}
+
+/// One chunk of a peer's standby journal, streamed back by `Bootstrap`:
+/// the raw acked edges a (re)started shard replays to reseed. `through`
+/// is the journal sequence number covered so far; the router resumes the
+/// next request after it, and resends only pending frames beyond the
+/// final `through` — so no acked edge is lost and none is applied twice.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct BootstrapChunk {
+    /// The crashed shard whose journal this chunk replays.
+    pub owner: u32,
+    /// Highest journal sequence number included so far.
+    pub through: u64,
+    /// `true` once the journal is exhausted.
+    pub done: bool,
+    /// The journaled edges, in original routing order.
+    pub edges: Vec<(VertexId, VertexId, f64)>,
+}
+
 /// One protocol frame, request or reply.
 #[derive(Clone, Debug, PartialEq)]
 pub enum WireFrame {
@@ -214,6 +319,48 @@ pub enum WireFrame {
     /// Ask for the merged metrics-registry snapshot as Prometheus text
     /// exposition (per-stage latency histograms included).
     Metrics,
+    /// Ask a shard server for its candidate region — local detection
+    /// plus a `hops`-hop frontier — for the router's cross-process
+    /// repair pass. Protocol v3.
+    Region {
+        /// Frontier radius around the local community.
+        hops: u32,
+    },
+    /// Ask a shard server to extract **and evict** the induced slice
+    /// over `members` (the source half of a cross-process migration).
+    /// Protocol v3.
+    MigrateOut {
+        /// Global vertex ids of the component to move.
+        members: Vec<VertexId>,
+    },
+    /// Replay a migrated slice into a shard server's engine (the target
+    /// half of a cross-process migration). Protocol v3.
+    Absorb {
+        /// The slice in flight.
+        slice: WireSlice,
+    },
+    /// Append acked edges to this shard's standby journal for `owner`
+    /// (a *peer* shard): the router copies every batch it routes to
+    /// `owner` onto a replica, and only acks upstream once both
+    /// confirmed — the crash-recovery groundwork. Protocol v3.
+    Replicate {
+        /// The peer shard these edges were routed to.
+        owner: u32,
+        /// Router-assigned journal sequence number (strictly
+        /// increasing per owner; a repeat is acknowledged idempotently).
+        seq: u64,
+        /// The batch, in routing order.
+        edges: Vec<(VertexId, VertexId, f64)>,
+    },
+    /// Stream the standby journal held for `owner` back to the router,
+    /// starting after journal sequence `after` — the snapshot-bootstrap
+    /// handshake a restarted shard reseeds through. Protocol v3.
+    Bootstrap {
+        /// The crashed shard whose journal to replay.
+        owner: u32,
+        /// Resume after this sequence number (0 = from the start).
+        after: u64,
+    },
     /// Request processed; `accepted` edges were enqueued (0 for
     /// non-ingest requests).
     Ack {
@@ -232,6 +379,14 @@ pub enum WireFrame {
     StatsReply(StatsReply),
     /// The merged metrics snapshot, rendered for scraping.
     MetricsReply(MetricsReply),
+    /// A shard server's candidate region.
+    RegionReply(RegionReply),
+    /// An extracted (and evicted) migration slice.
+    SliceReply(WireSlice),
+    /// The receipt of a replayed migration slice.
+    AbsorbReply(AbsorbReply),
+    /// One chunk of a standby journal replay.
+    BootstrapChunk(BootstrapChunk),
     /// The request failed; the connection closes after this frame.
     Error {
         /// Human-readable cause.
@@ -259,6 +414,36 @@ fn need(buf: &Bytes, n: usize, what: &'static str) -> Result<(), WireError> {
         return Err(WireError::Corrupt(what));
     }
     Ok(())
+}
+
+/// Encodes a [`WireSlice`] body (shared by `Absorb` and `SliceReply`,
+/// which carry the same payload after the opcode). Panics if the
+/// snapshot bytes exceed [`MAX_SNAPSHOT_BYTES`] — producers split
+/// migrations below the bound.
+fn put_slice_body(payload: &mut BytesMut, slice: &WireSlice) {
+    assert!(slice.encoded.len() <= MAX_SNAPSHOT_BYTES, "slice snapshot too large");
+    payload.put_u64_le(slice.vertices);
+    payload.put_u64_le(slice.edges);
+    payload.put_f64_le(slice.edge_weight);
+    payload.put_u64_le(slice.updates_applied);
+    payload.put_u32_le(slice.encoded.len() as u32);
+    payload.put_slice(&slice.encoded);
+}
+
+/// Decodes a [`WireSlice`] body, the inverse of [`put_slice_body`].
+fn take_slice_body(buf: &mut Bytes) -> Result<WireSlice, WireError> {
+    need(buf, 36, "truncated slice header")?;
+    let vertices = buf.get_u64_le();
+    let edges = buf.get_u64_le();
+    let edge_weight = buf.get_f64_le();
+    let updates_applied = buf.get_u64_le();
+    let blen = buf.get_u32_le() as usize;
+    if blen > MAX_SNAPSHOT_BYTES {
+        return Err(WireError::Corrupt("slice snapshot exceeds the bound"));
+    }
+    need(buf, blen, "truncated slice snapshot")?;
+    let encoded = buf.take_bytes(blen).to_vec();
+    Ok(WireSlice { vertices, edges, edge_weight, updates_applied, encoded })
 }
 
 impl WireFrame {
@@ -301,6 +486,39 @@ impl WireFrame {
             WireFrame::Stats => payload.put_slice(&[OP_STATS]),
             WireFrame::Shutdown => payload.put_slice(&[OP_SHUTDOWN]),
             WireFrame::Metrics => payload.put_slice(&[OP_METRICS]),
+            WireFrame::Region { hops } => {
+                payload.put_slice(&[OP_REGION]);
+                payload.put_u32_le(*hops);
+            }
+            WireFrame::MigrateOut { members } => {
+                assert!(members.len() <= MAX_MIGRATE_MEMBERS, "member list exceeds the bound");
+                payload.put_slice(&[OP_MIGRATE_OUT]);
+                payload.put_u32_le(members.len() as u32);
+                for m in members {
+                    payload.put_u32_le(m.0);
+                }
+            }
+            WireFrame::Absorb { slice } => {
+                payload.put_slice(&[OP_ABSORB]);
+                put_slice_body(&mut payload, slice);
+            }
+            WireFrame::Replicate { owner, seq, edges } => {
+                assert!(edges.len() <= MAX_BATCH_EDGES, "batch exceeds the frame bound");
+                payload.put_slice(&[OP_REPLICATE]);
+                payload.put_u32_le(*owner);
+                payload.put_u64_le(*seq);
+                payload.put_u32_le(edges.len() as u32);
+                for &(src, dst, raw) in edges {
+                    payload.put_u32_le(src.0);
+                    payload.put_u32_le(dst.0);
+                    payload.put_f64_le(raw);
+                }
+            }
+            WireFrame::Bootstrap { owner, after } => {
+                payload.put_slice(&[OP_BOOTSTRAP]);
+                payload.put_u32_le(*owner);
+                payload.put_u64_le(*after);
+            }
             WireFrame::Ack { accepted } => {
                 payload.put_slice(&[OP_ACK]);
                 payload.put_u64_le(*accepted);
@@ -354,6 +572,47 @@ impl WireFrame {
                 let cut = (0..=cut).rev().find(|&i| m.exposition.is_char_boundary(i)).unwrap_or(0);
                 payload.put_slice(&bytes[..cut]);
             }
+            WireFrame::RegionReply(region) => {
+                assert!(
+                    region.members.len() <= MAX_MIGRATE_MEMBERS,
+                    "region member list exceeds the bound"
+                );
+                assert!(region.encoded.len() <= MAX_SNAPSHOT_BYTES, "region snapshot too large");
+                payload.put_slice(&[OP_REGION_REPLY]);
+                payload.put_u64_le(region.size);
+                payload.put_f64_le(region.density);
+                payload.put_u64_le(region.updates_applied);
+                payload.put_u64_le(region.epoch);
+                payload.put_u32_le(region.members.len() as u32);
+                for m in &region.members {
+                    payload.put_u32_le(m.0);
+                }
+                payload.put_u32_le(region.encoded.len() as u32);
+                payload.put_slice(&region.encoded);
+            }
+            WireFrame::SliceReply(slice) => {
+                payload.put_slice(&[OP_SLICE_REPLY]);
+                put_slice_body(&mut payload, slice);
+            }
+            WireFrame::AbsorbReply(receipt) => {
+                payload.put_slice(&[OP_ABSORB_REPLY]);
+                payload.put_u64_le(receipt.vertices_touched);
+                payload.put_u64_le(receipt.edges_applied);
+                payload.put_u64_le(receipt.rejected);
+            }
+            WireFrame::BootstrapChunk(chunk) => {
+                assert!(chunk.edges.len() <= MAX_BATCH_EDGES, "chunk exceeds the frame bound");
+                payload.put_slice(&[OP_BOOTSTRAP_CHUNK]);
+                payload.put_u32_le(chunk.owner);
+                payload.put_u64_le(chunk.through);
+                payload.put_slice(&[u8::from(chunk.done)]);
+                payload.put_u32_le(chunk.edges.len() as u32);
+                for &(src, dst, raw) in &chunk.edges {
+                    payload.put_u32_le(src.0);
+                    payload.put_u32_le(dst.0);
+                    payload.put_f64_le(raw);
+                }
+            }
             WireFrame::Error { message } => {
                 payload.put_slice(&[OP_ERROR]);
                 let bytes = message.as_bytes();
@@ -380,7 +639,16 @@ impl WireFrame {
             WireFrame::Error { message } => 1 + message.len().min(MAX_ERROR_BYTES),
             WireFrame::StatsReply(s) => 77 + s.shard_queue_depths.len().min(MAX_STATS_SHARDS) * 8,
             WireFrame::MetricsReply(m) => 5 + m.exposition.len().min(MAX_EXPOSITION_BYTES),
-            _ => 17,
+            WireFrame::MigrateOut { members } => 5 + members.len().min(MAX_MIGRATE_MEMBERS) * 4,
+            WireFrame::Absorb { slice } => 38 + slice.encoded.len().min(MAX_SNAPSHOT_BYTES),
+            WireFrame::SliceReply(slice) => 38 + slice.encoded.len().min(MAX_SNAPSHOT_BYTES),
+            WireFrame::Replicate { edges, .. } => 17 + edges.len().min(MAX_BATCH_EDGES) * 16,
+            WireFrame::BootstrapChunk(c) => 18 + c.edges.len().min(MAX_BATCH_EDGES) * 16,
+            WireFrame::RegionReply(r) => {
+                41 + r.members.len().min(MAX_MIGRATE_MEMBERS) * 4
+                    + r.encoded.len().min(MAX_SNAPSHOT_BYTES)
+            }
+            _ => 33,
         }
     }
 
@@ -470,6 +738,99 @@ impl WireFrame {
                 check_section(&buf, count, 8, "truncated queue-depth list")?;
                 reply.shard_queue_depths = (0..count).map(|_| buf.get_u64_le()).collect();
                 WireFrame::StatsReply(reply)
+            }
+            OP_REGION => {
+                need(&buf, 4, "truncated region request")?;
+                WireFrame::Region { hops: buf.get_u32_le() }
+            }
+            OP_MIGRATE_OUT => {
+                need(&buf, 4, "truncated migrate-out header")?;
+                let count = buf.get_u32_le() as usize;
+                if count > MAX_MIGRATE_MEMBERS {
+                    return Err(WireError::Corrupt("migrate-out member list exceeds the bound"));
+                }
+                check_section(&buf, count, 4, "truncated migrate-out member list")?;
+                let members = (0..count).map(|_| VertexId(buf.get_u32_le())).collect();
+                WireFrame::MigrateOut { members }
+            }
+            OP_ABSORB => WireFrame::Absorb { slice: take_slice_body(&mut buf)? },
+            OP_REPLICATE => {
+                need(&buf, 16, "truncated replicate header")?;
+                let owner = buf.get_u32_le();
+                let seq = buf.get_u64_le();
+                let count = buf.get_u32_le() as usize;
+                check_section(&buf, count, 16, "truncated replicate batch")?;
+                let mut edges = Vec::with_capacity(count);
+                for _ in 0..count {
+                    edges.push((
+                        VertexId(buf.get_u32_le()),
+                        VertexId(buf.get_u32_le()),
+                        buf.get_f64_le(),
+                    ));
+                }
+                WireFrame::Replicate { owner, seq, edges }
+            }
+            OP_BOOTSTRAP => {
+                need(&buf, 12, "truncated bootstrap request")?;
+                WireFrame::Bootstrap { owner: buf.get_u32_le(), after: buf.get_u64_le() }
+            }
+            OP_REGION_REPLY => {
+                need(&buf, 36, "truncated region reply header")?;
+                let size = buf.get_u64_le();
+                let density = buf.get_f64_le();
+                let updates_applied = buf.get_u64_le();
+                let epoch = buf.get_u64_le();
+                let count = buf.get_u32_le() as usize;
+                if count > MAX_MIGRATE_MEMBERS {
+                    return Err(WireError::Corrupt("region member list exceeds the bound"));
+                }
+                check_section(&buf, count, 4, "truncated region member list")?;
+                let members = (0..count).map(|_| VertexId(buf.get_u32_le())).collect();
+                need(&buf, 4, "truncated region snapshot header")?;
+                let blen = buf.get_u32_le() as usize;
+                if blen > MAX_SNAPSHOT_BYTES {
+                    return Err(WireError::Corrupt("region snapshot exceeds the bound"));
+                }
+                need(&buf, blen, "truncated region snapshot")?;
+                let encoded = buf.take_bytes(blen).to_vec();
+                WireFrame::RegionReply(RegionReply {
+                    size,
+                    density,
+                    updates_applied,
+                    epoch,
+                    members,
+                    encoded,
+                })
+            }
+            OP_SLICE_REPLY => WireFrame::SliceReply(take_slice_body(&mut buf)?),
+            OP_ABSORB_REPLY => {
+                need(&buf, 24, "truncated absorb reply")?;
+                WireFrame::AbsorbReply(AbsorbReply {
+                    vertices_touched: buf.get_u64_le(),
+                    edges_applied: buf.get_u64_le(),
+                    rejected: buf.get_u64_le(),
+                })
+            }
+            OP_BOOTSTRAP_CHUNK => {
+                need(&buf, 17, "truncated bootstrap chunk header")?;
+                let owner = buf.get_u32_le();
+                let through = buf.get_u64_le();
+                let done = match buf.take_bytes(1)[0] {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(WireError::Corrupt("bootstrap done flag is not 0/1")),
+                };
+                let count = buf.get_u32_le() as usize;
+                check_section(&buf, count, 16, "truncated bootstrap chunk")?;
+                let mut edges = Vec::with_capacity(count);
+                for _ in 0..count {
+                    edges.push((
+                        VertexId(buf.get_u32_le()),
+                        VertexId(buf.get_u32_le()),
+                        buf.get_f64_le(),
+                    ));
+                }
+                WireFrame::BootstrapChunk(BootstrapChunk { owner, through, done, edges })
             }
             OP_METRICS_REPLY => {
                 need(&buf, 4, "truncated metrics reply")?;
@@ -642,6 +1003,117 @@ mod tests {
             exposition: "# TYPE spade_updates_total counter\nspade_updates_total 9\n".into(),
         }));
         roundtrip(WireFrame::Error { message: "queue déjà full".into() });
+        // Protocol v3: shard-server operations.
+        roundtrip(WireFrame::Region { hops: 2 });
+        roundtrip(WireFrame::MigrateOut { members: vec![v(3), v(1), v(4)] });
+        roundtrip(WireFrame::MigrateOut { members: Vec::new() });
+        roundtrip(WireFrame::Absorb {
+            slice: WireSlice {
+                vertices: 3,
+                edges: 2,
+                edge_weight: 7.5,
+                updates_applied: 41,
+                encoded: vec![9, 8, 7, 6],
+            },
+        });
+        roundtrip(WireFrame::Absorb { slice: WireSlice::default() });
+        roundtrip(WireFrame::Replicate {
+            owner: 1,
+            seq: 42,
+            edges: vec![(v(0), v(1), 1.0), (v(2), v(3), 0.5)],
+        });
+        roundtrip(WireFrame::Replicate { owner: 0, seq: 0, edges: Vec::new() });
+        roundtrip(WireFrame::Bootstrap { owner: 2, after: 17 });
+        roundtrip(WireFrame::RegionReply(RegionReply {
+            size: 3,
+            density: 12.5,
+            updates_applied: 99,
+            epoch: 4,
+            members: vec![v(10), v(11), v(12)],
+            encoded: vec![1, 2, 3],
+        }));
+        roundtrip(WireFrame::RegionReply(RegionReply::default()));
+        roundtrip(WireFrame::SliceReply(WireSlice {
+            vertices: 1,
+            edges: 1,
+            edge_weight: 2.0,
+            updates_applied: 5,
+            encoded: vec![0xAB],
+        }));
+        roundtrip(WireFrame::AbsorbReply(AbsorbReply {
+            vertices_touched: 4,
+            edges_applied: 6,
+            rejected: 1,
+        }));
+        roundtrip(WireFrame::BootstrapChunk(BootstrapChunk {
+            owner: 1,
+            through: 9,
+            done: true,
+            edges: vec![(v(5), v(6), 2.25)],
+        }));
+        roundtrip(WireFrame::BootstrapChunk(BootstrapChunk {
+            owner: 0,
+            through: 0,
+            done: false,
+            edges: Vec::new(),
+        }));
+    }
+
+    #[test]
+    fn v3_truncated_and_garbage_payloads_error_not_panic() {
+        // Migrate-out claiming more members than the payload holds.
+        let mut payload = vec![OP_MIGRATE_OUT];
+        payload.extend_from_slice(&1000u32.to_le_bytes());
+        payload.extend_from_slice(&[0u8; 4]);
+        assert!(matches!(WireFrame::decode_payload(&payload), Err(WireError::Corrupt(_))));
+        // A member count above the frame-level bound.
+        let mut over = vec![OP_MIGRATE_OUT];
+        over.extend_from_slice(&(MAX_MIGRATE_MEMBERS as u32 + 1).to_le_bytes());
+        assert!(matches!(WireFrame::decode_payload(&over), Err(WireError::Corrupt(_))));
+
+        // A slice whose snapshot length exceeds both the payload and the bound.
+        let mut slice = vec![OP_ABSORB];
+        slice.extend_from_slice(&[0u8; 32]); // vertices/edges/weight/updates
+        slice.extend_from_slice(&(MAX_SNAPSHOT_BYTES as u32 + 1).to_le_bytes());
+        assert!(matches!(WireFrame::decode_payload(&slice), Err(WireError::Corrupt(_))));
+        let mut short = vec![OP_SLICE_REPLY];
+        short.extend_from_slice(&[0u8; 32]);
+        short.extend_from_slice(&64u32.to_le_bytes()); // claims 64 bytes, has none
+        assert!(matches!(WireFrame::decode_payload(&short), Err(WireError::Corrupt(_))));
+
+        // Replicate batch crafted to overflow count * 16.
+        let mut wrap = vec![OP_REPLICATE];
+        wrap.extend_from_slice(&0u32.to_le_bytes()); // owner
+        wrap.extend_from_slice(&0u64.to_le_bytes()); // seq
+        wrap.extend_from_slice(&u32::MAX.to_le_bytes()); // count
+        assert!(matches!(WireFrame::decode_payload(&wrap), Err(WireError::Corrupt(_))));
+
+        // A bootstrap chunk with a done flag outside {0, 1}.
+        let mut flag = vec![OP_BOOTSTRAP_CHUNK];
+        flag.extend_from_slice(&0u32.to_le_bytes()); // owner
+        flag.extend_from_slice(&0u64.to_le_bytes()); // through
+        flag.push(7); // bogus done flag
+        flag.extend_from_slice(&0u32.to_le_bytes()); // count
+        assert!(matches!(WireFrame::decode_payload(&flag), Err(WireError::Corrupt(_))));
+
+        // Region reply with a member section that stops short.
+        let mut region = vec![OP_REGION_REPLY];
+        region.extend_from_slice(&[0u8; 32]); // size/density/updates/epoch
+        region.extend_from_slice(&5u32.to_le_bytes()); // five members claimed
+        region.extend_from_slice(&[0u8; 8]); // room for two
+        assert!(matches!(WireFrame::decode_payload(&region), Err(WireError::Corrupt(_))));
+
+        // Trailing garbage after well-formed v3 bodies.
+        for frame in [
+            WireFrame::Region { hops: 1 },
+            WireFrame::Bootstrap { owner: 0, after: 3 },
+            WireFrame::AbsorbReply(AbsorbReply::default()),
+            WireFrame::SliceReply(WireSlice::default()),
+        ] {
+            let mut trailing = frame.encode()[4..].to_vec();
+            trailing.push(0);
+            assert!(matches!(WireFrame::decode_payload(&trailing), Err(WireError::Corrupt(_))));
+        }
     }
 
     #[test]

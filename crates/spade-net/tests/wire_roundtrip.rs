@@ -5,11 +5,31 @@
 //! `SubgraphSnapshot` codec gets in `spade-core`.
 
 use proptest::prelude::*;
+use spade_core::SubgraphSnapshot;
 use spade_graph::VertexId;
-use spade_net::{DetectionReply, FrameDecoder, MetricsReply, StatsReply, WireError, WireFrame};
+use spade_net::{
+    AbsorbReply, BootstrapChunk, DetectionReply, FrameDecoder, MetricsReply, RegionReply,
+    StatsReply, WireError, WireFrame, WireSlice,
+};
 
 fn v(i: u32) -> VertexId {
     VertexId(i)
+}
+
+/// An arbitrary migration slice body (shared by `Absorb` and
+/// `SliceReply`), its `encoded` field carrying opaque snapshot bytes.
+fn arb_slice() -> impl Strategy<Value = WireSlice> {
+    (
+        (0u64..1 << 30, 0u64..1 << 30, 0.0f64..1e9, 0u64..u64::MAX),
+        collection::vec(0u8..=255u8, 0..400),
+    )
+        .prop_map(|((vertices, edges, edge_weight, updates_applied), encoded)| WireSlice {
+            vertices,
+            edges,
+            edge_weight,
+            updates_applied,
+            encoded,
+        })
 }
 
 /// One arbitrary frame of any kind, request or reply.
@@ -70,10 +90,68 @@ fn arb_frame() -> impl Strategy<Value = WireFrame> {
                 exposition: String::from_utf8(raw).expect("printable ASCII"),
             })
         });
+    // Protocol-v3 shard-server operations and their replies.
+    let migrate_out = collection::vec(0u32..u32::MAX, 0..256).prop_map(|members| {
+        WireFrame::MigrateOut { members: members.into_iter().map(v).collect() }
+    });
+    let replicate = (
+        0u32..64,
+        0u64..u64::MAX,
+        collection::vec((0u32..100_000, 0u32..100_000, 0.0f64..1e6), 0..64),
+    )
+        .prop_map(|(owner, seq, edges)| WireFrame::Replicate {
+            owner,
+            seq,
+            edges: edges.into_iter().map(|(s, d, w)| (v(s), v(d), w)).collect(),
+        });
+    let region_reply = (
+        (0u64..1 << 30, 0.0f64..1e9, 0u64..u64::MAX, 0u64..u64::MAX),
+        collection::vec(0u32..u32::MAX, 0..128),
+        collection::vec(0u8..=255u8, 0..400),
+    )
+        .prop_map(|((size, density, updates_applied, epoch), members, encoded)| {
+            WireFrame::RegionReply(RegionReply {
+                size,
+                density,
+                updates_applied,
+                epoch,
+                members: members.into_iter().map(v).collect(),
+                encoded,
+            })
+        });
+    let absorb_reply = (0u64..1 << 30, 0u64..1 << 30, 0u64..1 << 30).prop_map(
+        |(vertices_touched, edges_applied, rejected)| {
+            WireFrame::AbsorbReply(AbsorbReply { vertices_touched, edges_applied, rejected })
+        },
+    );
+    let bootstrap_chunk = (
+        0u32..64,
+        0u64..u64::MAX,
+        (0u8..2).prop_map(|b| b == 1),
+        collection::vec((0u32..100_000, 0u32..100_000, 0.0f64..1e6), 0..64),
+    )
+        .prop_map(|(owner, through, done, edges)| {
+            WireFrame::BootstrapChunk(BootstrapChunk {
+                owner,
+                through,
+                done,
+                edges: edges.into_iter().map(|(s, d, w)| (v(s), v(d), w)).collect(),
+            })
+        });
     prop_oneof![
         4 => edge,
         4 => batch,
         3 => batch_budget,
+        1 => (0u32..16).prop_map(|hops| WireFrame::Region { hops }),
+        1 => migrate_out,
+        1 => arb_slice().prop_map(|slice| WireFrame::Absorb { slice }),
+        1 => arb_slice().prop_map(WireFrame::SliceReply),
+        1 => replicate,
+        1 => (0u32..64, 0u64..u64::MAX)
+            .prop_map(|(owner, after)| WireFrame::Bootstrap { owner, after }),
+        1 => region_reply,
+        1 => absorb_reply,
+        1 => bootstrap_chunk,
         1 => Just(WireFrame::Flush),
         1 => Just(WireFrame::Detect),
         1 => Just(WireFrame::Stats),
@@ -232,4 +310,105 @@ proptest! {
         decoder.extend(&len.to_le_bytes());
         prop_assert!(matches!(decoder.next_frame(), Err(WireError::Oversized(_))));
     }
+
+    /// The migration handoff end to end: an arbitrary
+    /// [`SubgraphSnapshot`] encodes, crosses the wire inside an `Absorb`
+    /// frame under arbitrary fragmentation, and the received bytes are
+    /// **bit-identical** — the decoded snapshot equals the original,
+    /// re-encodes to the same bytes, and replays into a graph carrying
+    /// exactly the snapshot's vertices and edges. This is the invariant
+    /// that makes over-the-wire migration exact: no weight is perturbed,
+    /// no edge dropped, no vertex reordered by transport.
+    #[test]
+    fn snapshot_handoff_roundtrips_bit_identically(
+        snapshot in arb_snapshot(),
+        chunk in 1usize..97,
+    ) {
+        let encoded = snapshot.encode();
+        let frame = WireFrame::Absorb {
+            slice: WireSlice {
+                vertices: snapshot.vertices.len() as u64,
+                edges: snapshot.edges.len() as u64,
+                edge_weight: snapshot.edge_weight_total(),
+                updates_applied: 42,
+                encoded: encoded.clone(),
+            },
+        };
+        let bytes = frame.encode();
+        let mut decoder = FrameDecoder::new();
+        let mut got = Vec::new();
+        for piece in bytes.chunks(chunk) {
+            decoder.extend(piece);
+            while let Some(f) = decoder.next_frame().expect("valid stream") {
+                got.push(f);
+            }
+        }
+        prop_assert_eq!(got.len(), 1);
+        let slice = match got.pop().expect("one frame") {
+            WireFrame::Absorb { slice } => slice,
+            other => panic!("decoded to a different frame kind: {other:?}"),
+        };
+        prop_assert_eq!(&slice.encoded, &encoded, "snapshot bytes perturbed in transit");
+        let decoded = SubgraphSnapshot::decode(&slice.encoded).expect("valid snapshot");
+        prop_assert_eq!(&decoded, &snapshot);
+        prop_assert_eq!(decoded.encode(), encoded, "re-encode must be bit-identical");
+        let mut remap = Vec::new();
+        let graph = decoded.replay(&mut remap).expect("replay");
+        prop_assert_eq!(remap.len(), snapshot.vertices.len());
+        prop_assert_eq!(graph.num_edges() as u64, distinct_pairs(&snapshot.edges));
+    }
+
+    /// Corrupting any single byte of the snapshot payload (or truncating
+    /// it) never panics downstream: the wire layer either rejects the
+    /// frame or delivers bytes whose snapshot decode fails cleanly — a
+    /// flipped byte can reach the application only as a *valid* snapshot
+    /// whose floats differ, never as UB or a panic.
+    #[test]
+    fn corrupted_snapshot_payloads_fail_cleanly(
+        snapshot in arb_snapshot(),
+        flip in 0usize..10_000,
+        value in 0u8..=255u8,
+    ) {
+        let mut encoded = snapshot.encode();
+        let idx = flip % encoded.len();
+        encoded[idx] = value;
+        // The wire layer ships opaque bytes; the snapshot codec is the
+        // layer that must reject structural corruption without panicking.
+        let _ = SubgraphSnapshot::decode(&encoded);
+        let truncated = &encoded[..encoded.len() - 1];
+        prop_assert!(SubgraphSnapshot::decode(truncated).is_err());
+    }
+}
+
+/// An arbitrary structurally-valid snapshot: strictly increasing vertex
+/// ids (the codec's canonical order) and edges whose endpoints are all
+/// members.
+fn arb_snapshot() -> impl Strategy<Value = SubgraphSnapshot> {
+    (
+        collection::vec((0u32..1_000_000, 0.0f64..1e6), 1..40),
+        collection::vec((0usize..1 << 16, 0usize..1 << 16, 0.0f64..1e6), 0..120),
+    )
+        .prop_map(|(verts, raw)| {
+            let mut vertices: Vec<(VertexId, f64)> =
+                verts.into_iter().map(|(id, w)| (VertexId(id), w)).collect();
+            vertices.sort_unstable_by_key(|&(id, _)| id);
+            vertices.dedup_by_key(|&mut (id, _)| id);
+            let n = vertices.len();
+            let edges = raw
+                .into_iter()
+                .map(|(a, b, w)| (a % n, b % n, w))
+                .filter(|&(a, b, _)| a != b)
+                .map(|(a, b, w)| (vertices[a].0, vertices[b].0, w))
+                .collect();
+            SubgraphSnapshot { vertices, edges }
+        })
+}
+
+/// Distinct `(src, dst)` pairs — what a replayed graph stores when the
+/// generator emitted duplicate edges (duplicates accumulate weight).
+fn distinct_pairs(edges: &[(VertexId, VertexId, f64)]) -> u64 {
+    let mut pairs: Vec<(u32, u32)> = edges.iter().map(|&(s, d, _)| (s.0, d.0)).collect();
+    pairs.sort_unstable();
+    pairs.dedup();
+    pairs.len() as u64
 }

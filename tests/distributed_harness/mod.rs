@@ -1,0 +1,124 @@
+//! Shared harness for the multi-process distributed tests: real `shardd`
+//! child processes (spawned from `CARGO_BIN_EXE_shardd`), the seeded
+//! injected-fraud workload every exactness gate compares against, and
+//! routing probes for aiming edges at a chosen shard.
+
+// Compiled into each distributed test binary; not every binary uses
+// every helper (only the recovery test kills shards or aims probes).
+#![allow(dead_code)]
+
+use spade::core::stream::StreamEdge;
+use spade::core::{SpadeEngine, WeightedDensity};
+use spade::gen::fraud::{FraudInjector, FraudInjectorConfig};
+use spade::gen::transactions::{TransactionStream, TransactionStreamConfig};
+use spade::graph::VertexId;
+use spade::shard::{HashPartitioner, Partitioner};
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+
+/// One real shard-server child process. The first stdout line is the
+/// bound address (`shardd` always binds port 0, so a restarted shard
+/// lands on a fresh port and never trips over `TIME_WAIT`).
+pub struct ShardProc {
+    child: Child,
+    pub addr: String,
+}
+
+impl ShardProc {
+    /// Spawns `shardd` and blocks until it prints its bound address.
+    pub fn spawn() -> ShardProc {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_shardd"))
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("spawn shardd");
+        let stdout = child.stdout.take().expect("shardd stdout");
+        let mut line = String::new();
+        BufReader::new(stdout).read_line(&mut line).expect("read shardd bound address");
+        let addr = line.trim().to_string();
+        assert!(addr.contains(':'), "shardd printed {line:?}, expected an address");
+        ShardProc { child, addr }
+    }
+
+    /// SIGKILLs the process — no shutdown handshake, no flush; exactly
+    /// the crash the recovery path must tolerate — and reaps it, so the
+    /// death is complete before the caller's next wire operation.
+    pub fn sigkill(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+
+    /// Waits for a clean exit (after a `Shutdown` frame).
+    pub fn wait(&mut self) {
+        let status = self.child.wait().expect("wait shardd");
+        assert!(status.success(), "shardd exited with {status}");
+    }
+}
+
+impl Drop for ShardProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// The seeded dataset: identical to the in-process repair gate and the
+/// TCP net gate, so every half of the `cross-shard-exactness` CI job
+/// compares the same ground truth.
+pub fn seeded_injected_stream() -> Vec<StreamEdge> {
+    let base = TransactionStream::generate(&TransactionStreamConfig {
+        customers: 600,
+        merchants: 200,
+        transactions: 6_000,
+        seed: 0xC1_5EED,
+        ..Default::default()
+    });
+    let injected = FraudInjector::inject(
+        &base,
+        &FraudInjectorConfig {
+            instances_per_pattern: 1,
+            transactions_per_instance: 240,
+            amount: 600.0,
+            seed: 0xC1_5EED,
+            ..Default::default()
+        },
+    );
+    injected.edges
+}
+
+/// Solo-engine ground truth over `edges`.
+pub fn solo_detection(edges: &[(VertexId, VertexId, f64)]) -> (usize, f64, Vec<u32>) {
+    let mut solo = SpadeEngine::new(WeightedDensity);
+    for &(src, dst, raw) in edges {
+        let _ = solo.insert_edge(src, dst, raw);
+    }
+    let det = solo.detect();
+    let mut members: Vec<u32> = solo.community(det).iter().map(|m| m.0).collect();
+    members.sort_unstable();
+    (det.size, det.density, members)
+}
+
+/// `count` unique low-weight noise edges whose *sources all hash-route
+/// to `shard`* (out of `num_shards`). Vertex ids sit just above the
+/// seeded workload's range (the graph substrate stores per-vertex state
+/// densely, so ids stay small), and at weight 1.0 these never perturb
+/// the detected community — they exist to aim in-flight batches at a
+/// chosen victim.
+pub fn edges_routed_to(
+    shard: usize,
+    num_shards: usize,
+    count: usize,
+) -> Vec<(VertexId, VertexId, f64)> {
+    let mut partitioner = HashPartitioner;
+    let mut edges = Vec::with_capacity(count);
+    let mut v = 50_000u32;
+    while edges.len() < count {
+        let src = VertexId(v);
+        let dst = VertexId(v + 50_000);
+        if partitioner.route(src, dst, num_shards) == shard {
+            edges.push((src, dst, 1.0));
+        }
+        v += 1;
+    }
+    edges
+}

@@ -1,0 +1,139 @@
+//! Crash-recovery fault injection for the multi-process runtime: SIGKILL
+//! a real shard process mid-ingest — with acknowledged batches applied
+//! and unacknowledged batches in flight — restart it on a fresh port,
+//! reseed it from its replica's journal over the `Bootstrap` handshake,
+//! and prove the distributed detection still equals the solo engine with
+//! **zero acknowledged edges lost and none double-applied**. In-flight
+//! unacked batches are replayed out of the journal, never resent, so the
+//! fresh incarnation applies each edge exactly once.
+//!
+//! Deterministic by construction: the router is synchronous (at most one
+//! batch per shard in flight), the kill happens between round trips and
+//! is reaped before the next wire operation, and the crash-window edges
+//! are aimed at the victim so no batch ever needs the victim as a
+//! *replica* while it is down (the single-failure model).
+
+mod distributed_harness;
+
+use distributed_harness::{edges_routed_to, seeded_injected_stream, solo_detection, ShardProc};
+use spade::graph::VertexId;
+use spade::net::{RouterConfig, SpadeRouter};
+use spade::shard::{HashPartitioner, Partitioner};
+use std::time::Instant;
+
+const NUM_SHARDS: usize = 3;
+const VICTIM: usize = 1;
+const BATCH_EDGES: usize = 64;
+
+#[test]
+fn sigkill_mid_ingest_then_journal_bootstrap_loses_nothing() {
+    let stream: Vec<(VertexId, VertexId, f64)> =
+        seeded_injected_stream().iter().map(|e| (e.src, e.dst, e.raw)).collect();
+    let split = stream.len() * 2 / 3;
+    // Two full batches aimed at the victim: they ship during the crash
+    // window, journal on the replica, and defer (home dead) — the
+    // "unacked in-flight edges" the recovery contract is about.
+    let window = edges_routed_to(VICTIM, NUM_SHARDS, 2 * BATCH_EDGES);
+
+    // Ground truth over the exact multiset the cluster will ingest.
+    let mut full = stream[..split].to_vec();
+    full.extend_from_slice(&window);
+    full.extend_from_slice(&stream[split..]);
+    let (want_size, want_density, want_members) = solo_detection(&full);
+    assert!(want_size > 0, "the seeded dataset must contain a detectable community");
+
+    let mut shards: Vec<ShardProc> = (0..NUM_SHARDS).map(|_| ShardProc::spawn()).collect();
+    let addrs: Vec<String> = shards.iter().map(|s| s.addr.clone()).collect();
+    let config = RouterConfig { batch_edges: BATCH_EDGES, ..Default::default() };
+    let mut router = SpadeRouter::connect(&addrs, config).expect("connect router");
+
+    // Phase A: normal ingest, fully flushed and acknowledged.
+    for &(src, dst, raw) in &stream[..split] {
+        router.submit(src, dst, raw).expect("submit");
+    }
+    router.flush_batches().expect("flush phase A");
+    assert_eq!(router.stats().edges_acked, split as u64);
+
+    // Phase B: the crash. SIGKILL the victim (reaped before the next
+    // wire call), then keep ingesting edges homed on it. Each full batch
+    // still journals on the replica, fails delivery, and defers.
+    shards[VICTIM].sigkill();
+    for &(src, dst, raw) in &window {
+        router.submit(src, dst, raw).expect("crash-window submit must not error");
+    }
+    let mid = router.stats();
+    assert!(router.is_offline(VICTIM), "the router must have observed the death");
+    assert_eq!(mid.deferred_batches, 2, "both crash-window batches must defer");
+    assert_eq!(
+        mid.edges_acked, split as u64,
+        "a batch the dead shard never applied must not be acknowledged"
+    );
+
+    // Phase C: restart on a fresh port and bootstrap from the replica's
+    // journal. The replay must cover every batch ever shipped to the
+    // victim — phase A's applied ones (their applications died with the
+    // process) and the deferred window — each exactly once.
+    let recovery_start = Instant::now();
+    let replacement = ShardProc::spawn();
+    let replayed = router.recover(VICTIM, &replacement.addr).expect("recover");
+    let recovery_time = recovery_start.elapsed();
+    shards[VICTIM] = replacement;
+    let mut partitioner = HashPartitioner;
+    let expected_replay = stream[..split]
+        .iter()
+        .filter(|&&(src, dst, _)| partitioner.route(src, dst, NUM_SHARDS) == VICTIM)
+        .count() as u64
+        + window.len() as u64;
+    assert_eq!(replayed, expected_replay, "journal replay must cover every shipped batch");
+    assert_eq!(
+        router.stats().edges_acked,
+        split as u64 + window.len() as u64,
+        "recovery must acknowledge the deferred batches without resending them"
+    );
+    assert_eq!(router.stats().recoveries, 1);
+
+    // Phase D: resume the stream, then prove exactness over the wire.
+    for &(src, dst, raw) in &stream[split..] {
+        router.submit(src, dst, raw).expect("post-recovery submit");
+    }
+    router.flush_batches().expect("flush phase D");
+    let stats = router.stats();
+    assert_eq!(stats.edges_submitted, full.len() as u64);
+    assert_eq!(stats.edges_acked, full.len() as u64, "zero acknowledged edges may be lost");
+
+    let outcome = router.repair().expect("repair");
+    let got: Vec<u32> = outcome.members.iter().map(|m| m.0).collect();
+    assert_eq!(got, want_members, "post-recovery repaired members diverge from solo");
+    assert_eq!(outcome.size, want_size);
+    assert!(
+        (outcome.density - want_density).abs() < 1e-9,
+        "post-recovery repaired density {} vs solo {}",
+        outcome.density,
+        want_density
+    );
+
+    // Exactly-once: every acked edge is applied by exactly one live
+    // engine — a lost journal entry would undershoot, a double replay
+    // (or a resent deferred batch) would overshoot.
+    let applied: u64 = router
+        .shard_stats()
+        .expect("shard stats")
+        .into_iter()
+        .map(|s| s.expect("every shard is live again").updates_applied)
+        .sum();
+    assert_eq!(applied, stats.edges_acked, "acked != applied: an edge was lost or duplicated");
+
+    router.shutdown_shards().expect("shutdown");
+    for shard in &mut shards {
+        shard.wait();
+    }
+    println!(
+        "recovered shard {VICTIM}/{NUM_SHARDS} in {:.1} ms (spawn + journal bootstrap): \
+         {} journaled edges replayed, {} total acked and applied exactly once, \
+         repaired density {:.3} == solo",
+        recovery_time.as_secs_f64() * 1e3,
+        replayed,
+        stats.edges_acked,
+        outcome.density,
+    );
+}
